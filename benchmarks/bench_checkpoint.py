@@ -1,0 +1,96 @@
+"""Utility benchmark: snapshot save/load throughput.
+
+Not a paper table — production operability: a graph server restart
+loads the last snapshot instead of replaying the update stream.  This
+bench measures serialisation round-trip rates and compares snapshot size
+against the store's modeled in-memory footprint.
+"""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.bench.report import format_table
+from repro.bench.workloads import build_store, make_store
+from repro.core.memory import humanize_bytes
+from repro.storage.checkpoint import load_store, save_store
+
+try:
+    from conftest import BENCH_DATASETS
+except ImportError:
+    from benchmarks.conftest import BENCH_DATASETS
+
+
+def _built(ds_name):
+    loader, scale = BENCH_DATASETS[ds_name]
+    data = loader(scale=scale)
+    store = make_store("PlatoD2GL")
+    build_store(store, data, batch_size=4096)
+    return store
+
+
+@pytest.mark.parametrize("ds_name", ["OGBN"])
+def test_save(benchmark, built_stores, ds_name):
+    benchmark.group = "checkpoint-save"
+    store = built_stores[("PlatoD2GL", ds_name)]
+
+    def run():
+        buf = io.BytesIO()
+        save_store(store, buf)
+        return buf
+
+    buf = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["snapshot_bytes"] = len(buf.getvalue())
+
+
+@pytest.mark.parametrize("ds_name", ["OGBN"])
+def test_load(benchmark, built_stores, ds_name):
+    benchmark.group = "checkpoint-load"
+    store = built_stores[("PlatoD2GL", ds_name)]
+    buf = io.BytesIO()
+    save_store(store, buf)
+    data = buf.getvalue()
+
+    def run():
+        return load_store(io.BytesIO(data))
+
+    loaded = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert loaded.num_edges == store.num_edges
+
+
+def main() -> str:
+    import time
+
+    rows = []
+    for ds_name in BENCH_DATASETS:
+        store = _built(ds_name)
+        buf = io.BytesIO()
+        start = time.perf_counter()
+        save_store(store, buf)
+        save_s = time.perf_counter() - start
+        data = buf.getvalue()
+        start = time.perf_counter()
+        loaded = load_store(io.BytesIO(data))
+        load_s = time.perf_counter() - start
+        assert loaded.num_edges == store.num_edges
+        rows.append(
+            [
+                ds_name,
+                f"{store.num_edges:,}",
+                humanize_bytes(len(data)),
+                humanize_bytes(store.nbytes()),
+                f"{store.num_edges / save_s:,.0f}/s",
+                f"{store.num_edges / load_s:,.0f}/s",
+            ]
+        )
+    return format_table(
+        ["dataset", "edges", "snapshot", "in-memory", "save rate", "load rate"],
+        rows,
+        title="Checkpoint: snapshot round-trip throughput (PlatoD2GL)",
+    )
+
+
+if __name__ == "__main__":
+    print(main())

@@ -1,0 +1,134 @@
+"""Figures 10(a-f): sampling latency vs batch size.
+
+(a-c) **Neighbor sampling** — 50 weighted neighbor draws per vertex of a
+batch, on OGBN / Reddit / WeChat.  The paper reports PlatoD2GL up to
+2.9× faster than PlatoGL, with the w/o-CP ablation slower than the
+compressed store and AliGraph absent on WeChat (o.o.m).
+
+(d-f) **Subgraph sampling** — 2-hop expansion pivoted at each batch
+vertex; PlatoD2GL up to 10.1× faster than PlatoGL on WeChat.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.report import format_series, speedup
+from repro.bench.workloads import (
+    build_store,
+    make_store,
+    neighbor_sampling_sweep,
+    sources_of,
+    subgraph_sampling_sweep,
+)
+
+try:
+    from conftest import BENCH_DATASETS, SYSTEMS
+except ImportError:
+    from benchmarks.conftest import BENCH_DATASETS, SYSTEMS
+
+#: Paper: 2^8 … 2^14; scaled for suite runtime.
+BATCH_SIZES = [2**6, 2**8, 2**10]
+K_NEIGHBORS = 50
+FANOUTS = (10, 10)
+
+
+@pytest.mark.parametrize("ds_name", list(BENCH_DATASETS))
+@pytest.mark.parametrize("system", SYSTEMS)
+def test_neighbor_sampling(benchmark, built_stores, system, ds_name):
+    benchmark.group = f"fig10abc-neighbor-{ds_name}"
+    store = built_stores[(system, ds_name)]
+    if store is None:
+        pytest.skip(f"{system} o.o.m on {ds_name} (paper Figure 10c)")
+    sources = sources_of(store, limit=512)
+
+    def run():
+        neighbor_sampling_sweep(store, sources, [256], k=K_NEIGHBORS)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+@pytest.mark.parametrize("ds_name", list(BENCH_DATASETS))
+@pytest.mark.parametrize("system", SYSTEMS)
+def test_subgraph_sampling(benchmark, built_stores, system, ds_name):
+    benchmark.group = f"fig10def-subgraph-{ds_name}"
+    store = built_stores[(system, ds_name)]
+    if store is None:
+        pytest.skip(f"{system} o.o.m on {ds_name} (paper Figure 10f)")
+    sources = sources_of(store, limit=512)
+
+    def run():
+        subgraph_sampling_sweep(store, sources, [64], fanouts=FANOUTS)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def _build_all(ds_name):
+    loader, scale = BENCH_DATASETS[ds_name]
+    data = loader(scale=scale)
+    stores = {}
+    for system in SYSTEMS:
+        store = make_store(system)
+        result = build_store(
+            store, data, batch_size=4096, enforce_cluster_budget_for=ds_name
+        )
+        stores[system] = None if result.out_of_memory else store
+    return stores
+
+
+def main(batch_sizes=None) -> str:
+    batch_sizes = batch_sizes or BATCH_SIZES
+    parts = []
+    for ds_name in BENCH_DATASETS:
+        stores = _build_all(ds_name)
+        neighbor_series = {}
+        subgraph_series = {}
+        for system, store in stores.items():
+            if store is None:
+                nan = float("nan")
+                neighbor_series[system] = [nan] * len(batch_sizes)
+                subgraph_series[system] = [nan] * len(batch_sizes)
+                continue
+            sources = sources_of(store)
+            neigh = neighbor_sampling_sweep(
+                store, sources, batch_sizes, k=K_NEIGHBORS
+            )
+            sub = subgraph_sampling_sweep(
+                store, sources, batch_sizes, fanouts=FANOUTS
+            )
+            neighbor_series[system] = [neigh[b] * 1e3 for b in batch_sizes]
+            subgraph_series[system] = [sub[b] * 1e3 for b in batch_sizes]
+        parts.append(
+            format_series(
+                "batch",
+                batch_sizes,
+                neighbor_series,
+                unit="ms",
+                title=f"Figure 10 (neighbor sampling, k={K_NEIGHBORS}) on "
+                f"{ds_name}",
+            )
+        )
+        ratios = [
+            speedup(pg, d2)
+            for pg, d2 in zip(
+                subgraph_series["PlatoGL"], subgraph_series["PlatoD2GL"]
+            )
+            if pg == pg and d2 == d2
+        ]
+        parts.append(
+            format_series(
+                "batch",
+                batch_sizes,
+                subgraph_series,
+                unit="ms",
+                title=f"Figure 10 (2-hop subgraph sampling) on {ds_name} "
+                f"(PlatoD2GL vs PlatoGL: "
+                + ", ".join(f"{r:.1f}x" for r in ratios)
+                + ")",
+            )
+        )
+    return "\n\n".join(parts)
+
+
+if __name__ == "__main__":
+    print(main())

@@ -1,0 +1,136 @@
+"""Table II: update/sampling complexity of FTS (FSTable) vs ITS (CSTable).
+
+The paper's Table II states per-leaf costs:
+
+===============  =========  ==========
+operation        ITS        FTS (ours)
+===============  =========  ==========
+new insertion    O(1)       O(log n)
+in-place update  O(n)       O(log n)
+deletion         O(n)       O(log n)
+sampling         O(log n)   O(log n)
+===============  =========  ==========
+
+`pytest benchmarks/bench_table2_complexity.py --benchmark-only` times
+each operation on tables of 2^8 … 2^12 elements; the benchmark groups
+line the two indexes up per (operation, n).  Running the module directly
+prints the growth-ratio table: FTS update times stay near-flat as n
+doubles while ITS grows ~2× — the empirical shape of Table II.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from repro.bench.report import format_table
+from repro.core.cstable import CSTable
+from repro.core.fenwick import FSTable
+
+SIZES = [2**8, 2**10, 2**12]
+
+
+def _weights(n: int) -> list:
+    r = random.Random(n)
+    return [r.random() + 0.01 for _ in range(n)]
+
+
+def _make(index_cls, n: int):
+    return index_cls(_weights(n))
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("index_cls", [FSTable, CSTable], ids=["FTS", "ITS"])
+class TestTable2:
+    def test_in_place_update(self, benchmark, index_cls, n):
+        benchmark.group = f"table2-update-n{n}"
+        table = _make(index_cls, n)
+        r = random.Random(1)
+
+        def op():
+            table.update(r.randrange(n), r.random())
+
+        benchmark(op)
+
+    def test_new_insertion(self, benchmark, index_cls, n):
+        benchmark.group = f"table2-insert-n{n}"
+        r = random.Random(2)
+
+        def setup():
+            return (_make(index_cls, n),), {}
+
+        def op(table):
+            table.append(r.random())
+
+        benchmark.pedantic(op, setup=setup, rounds=30, iterations=1)
+
+    def test_deletion(self, benchmark, index_cls, n):
+        benchmark.group = f"table2-delete-n{n}"
+        r = random.Random(3)
+
+        def setup():
+            return (_make(index_cls, n),), {}
+
+        def op(table):
+            table.delete(r.randrange(len(table)))
+
+        benchmark.pedantic(op, setup=setup, rounds=30, iterations=1)
+
+    def test_sampling(self, benchmark, index_cls, n):
+        benchmark.group = f"table2-sample-n{n}"
+        table = _make(index_cls, n)
+        r = random.Random(4)
+        benchmark(lambda: table.sample(r))
+
+
+def measure(index_cls, op: str, n: int, repeats: int = 2000) -> float:
+    """Mean seconds per operation (module-main growth table)."""
+    r = random.Random(42)
+    table = _make(index_cls, n)
+    if op == "update":
+        start = time.perf_counter()
+        for _ in range(repeats):
+            table.update(r.randrange(n), r.random())
+        return (time.perf_counter() - start) / repeats
+    if op == "insert":
+        start = time.perf_counter()
+        for _ in range(repeats):
+            table.append(r.random())
+        return (time.perf_counter() - start) / repeats
+    if op == "delete":
+        table = _make(index_cls, n + repeats)
+        start = time.perf_counter()
+        for _ in range(repeats):
+            table.delete(r.randrange(len(table)))
+        return (time.perf_counter() - start) / repeats
+    if op == "sample":
+        start = time.perf_counter()
+        for _ in range(repeats):
+            table.sample(r)
+        return (time.perf_counter() - start) / repeats
+    raise ValueError(op)
+
+
+def main() -> str:
+    sizes = [2**8, 2**10, 2**12, 2**14]
+    rows = []
+    for op in ("insert", "update", "delete", "sample"):
+        for name, cls in (("ITS", CSTable), ("FTS", FSTable)):
+            times = [measure(cls, op, n) for n in sizes]
+            growth = times[-1] / times[0] if times[0] > 0 else float("inf")
+            rows.append(
+                [op, name]
+                + [f"{t * 1e6:.2f}us" for t in times]
+                + [f"{growth:.1f}x"]
+            )
+    return format_table(
+        ["op", "index"] + [f"n={n}" for n in sizes] + ["growth 2^8->2^14"],
+        rows,
+        title="Table II (measured): per-op latency of ITS vs FTS",
+    )
+
+
+if __name__ == "__main__":
+    print(main())

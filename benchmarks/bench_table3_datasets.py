@@ -1,0 +1,64 @@
+"""Table III: dataset statistics.
+
+Prints the published Table III next to the statistics of the scaled
+instances this suite actually benchmarks, and times dataset generation
+(the workload-generator cost itself).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.presets import ogbn_scaled, reddit_scaled, wechat_scaled
+from repro.datasets.statistics import format_table3, published_table3_rows
+
+try:  # direct execution (`python benchmarks/bench_table3_datasets.py`)
+    from conftest import BENCH_DATASETS
+except ImportError:  # pytest collection
+    from benchmarks.conftest import BENCH_DATASETS
+
+
+@pytest.mark.parametrize(
+    "loader,scale",
+    [
+        (ogbn_scaled, 5000.0),
+        (reddit_scaled, 2500.0),
+        (wechat_scaled, 2_000_000.0),
+    ],
+    ids=["OGBN", "Reddit", "WeChat"],
+)
+def test_generate_dataset(benchmark, loader, scale):
+    benchmark.group = "table3-generate"
+    data = benchmark.pedantic(
+        lambda: loader(scale=scale), rounds=3, iterations=1
+    )
+    assert data.num_edges > 0
+
+
+def test_densities_match_published(datasets):
+    """The scaled instances preserve the published Density column."""
+    published = {
+        (r["dataset"], r["relation"]): r["density"]
+        for r in published_table3_rows()
+    }
+    for name, data in datasets.items():
+        for row in data.stats_rows():
+            expected = published[(name, row["relation"])]
+            assert row["density"] == pytest.approx(expected, rel=0.05)
+
+
+def main() -> str:
+    parts = [
+        "Table III (published sizes):",
+        format_table3(published_table3_rows()),
+        "",
+        "Table III (scaled instances benchmarked by this suite):",
+    ]
+    for name, (loader, scale) in BENCH_DATASETS.items():
+        data = loader(scale=scale)
+        parts.append(format_table3(data.stats_rows()))
+    return "\n".join(parts)
+
+
+if __name__ == "__main__":
+    print(main())

@@ -1,0 +1,67 @@
+"""Shared fixtures for the benchmark suite.
+
+Datasets and built stores are session-scoped: every figure/table driver
+reuses one build per (system, dataset), as the paper's evaluation does.
+
+Scales are chosen so the whole suite runs in minutes on one machine while
+preserving the structural regime (density, skew) each experiment depends
+on; `run_all.py --full` rebuilds everything at 10× scale for
+higher-fidelity numbers.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bench.workloads import build_store, make_store
+from repro.datasets.presets import ogbn_scaled, reddit_scaled, wechat_scaled
+
+#: (dataset name, loader, scale) for the benchmark suite.  The WeChat
+#: scale is the smallest at which the hub-shaped rev:User-Live relation
+#: (live rooms with hundreds of distinct viewers) survives scaling.
+BENCH_DATASETS = {
+    "OGBN": (ogbn_scaled, 5000.0),
+    "Reddit": (reddit_scaled, 2500.0),
+    "WeChat": (wechat_scaled, 1_000_000.0),
+}
+
+#: Systems of the paper's comparison.
+SYSTEMS = ("AliGraph", "PlatoGL", "PlatoD2GL", "PlatoD2GL (w/o CP)")
+
+
+@pytest.fixture(scope="session")
+def datasets():
+    """All three scaled datasets, generated once."""
+    return {
+        name: loader(scale=scale)
+        for name, (loader, scale) in BENCH_DATASETS.items()
+    }
+
+
+@pytest.fixture(scope="session")
+def built_stores(datasets):
+    """``(system, dataset) -> built store`` for every combination.
+
+    Combinations that exceed the paper's cluster budget (AliGraph on
+    WeChat — Figure 10c omits it "since it runs out of memory") map to
+    ``None``.
+    """
+    stores = {}
+    for ds_name, data in datasets.items():
+        for system in SYSTEMS:
+            store = make_store(system)
+            result = build_store(
+                store,
+                data,
+                batch_size=4096,
+                enforce_cluster_budget_for=ds_name,
+            )
+            stores[(system, ds_name)] = None if result.out_of_memory else store
+    return stores
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(0xBEEF)

@@ -1,0 +1,89 @@
+"""Regenerate every table and figure of the paper's evaluation.
+
+Usage::
+
+    python benchmarks/run_all.py            # suite scales (~ minutes)
+    python benchmarks/run_all.py --full     # larger scales (~ tens of min)
+
+Each section prints the measured counterpart of one paper table/figure;
+EXPERIMENTS.md records a captured run next to the published values.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import bench_ablation_compression
+import bench_ablation_concurrency
+import bench_ablation_static
+import bench_fig8_build
+import bench_fig9_updates
+import bench_fig10_sampling
+import bench_fig11_sensitivity
+import bench_table2_complexity
+import bench_table3_datasets
+import bench_table4_memory
+import bench_table5_opdist
+import conftest
+
+SECTIONS = [
+    ("Table II  — FTS vs ITS complexity", bench_table2_complexity.main),
+    ("Table III — dataset statistics", bench_table3_datasets.main),
+    ("Figure 8  — graph building", bench_fig8_build.main),
+    ("Figure 9  — dynamic updates vs batch size", bench_fig9_updates.main),
+    ("Table IV  — memory after build", bench_table4_memory.main),
+    ("Table V   — update-op distribution", bench_table5_opdist.main),
+    ("Figure 10 — sampling vs batch size", bench_fig10_sampling.main),
+    ("Figure 11 — parameter sensitivity", bench_fig11_sensitivity.main),
+    ("Ablation  — PALM concurrency", bench_ablation_concurrency.main),
+    ("Ablation  — CP-IDs compression", bench_ablation_compression.main),
+    ("Ablation  — static-system rebuild cost", bench_ablation_static.main),
+]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="run at larger dataset scales (higher fidelity, slower)",
+    )
+    parser.add_argument(
+        "--only",
+        help="substring filter on section titles (e.g. 'Figure 9')",
+    )
+    args = parser.parse_args(argv)
+
+    if args.full:
+        conftest.BENCH_DATASETS["OGBN"] = (
+            conftest.BENCH_DATASETS["OGBN"][0],
+            1000.0,
+        )
+        conftest.BENCH_DATASETS["Reddit"] = (
+            conftest.BENCH_DATASETS["Reddit"][0],
+            1000.0,
+        )
+        conftest.BENCH_DATASETS["WeChat"] = (
+            conftest.BENCH_DATASETS["WeChat"][0],
+            250_000.0,
+        )
+
+    for title, section in SECTIONS:
+        if args.only and args.only.lower() not in title.lower():
+            continue
+        print("=" * 78)
+        print(title)
+        print("=" * 78)
+        start = time.perf_counter()
+        print(section())
+        print(f"[section took {time.perf_counter() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

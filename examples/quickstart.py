@@ -1,0 +1,76 @@
+"""Quickstart: the PlatoD2GL store in five minutes.
+
+Covers the public API end to end on the paper's own running example
+(Figure 3): build a small weighted graph, update it dynamically, draw
+weighted neighbor samples, and inspect the memory accounting.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import DynamicGraphStore, SamtreeConfig, humanize_bytes
+
+
+def main() -> None:
+    # A store with the paper's default parameters: node capacity 256,
+    # slackness alpha = 0, CP-IDs compression on.
+    store = DynamicGraphStore(SamtreeConfig(capacity=256, alpha=0, compress=True))
+
+    # --- the paper's Figure 3 example graph --------------------------------
+    edges = [
+        (1, 2, 0.1),
+        (1, 3, 0.4),
+        (1, 5, 0.2),
+        (3, 4, 0.6),
+        (3, 7, 0.7),
+    ]
+    for src, dst, weight in edges:
+        store.add_edge(src, dst, weight)
+
+    print("vertices with out-edges:", store.num_sources)
+    print("edges:", store.num_edges)
+    print("neighbors of 1:", sorted(store.neighbors(1)))
+    print("total weight w_1: %.2f" % store.total_weight(1))
+
+    # --- dynamic updates ----------------------------------------------------
+    store.update_edge(1, 2, 0.9)          # in-place weight update: O(log n)
+    store.add_edge(1, 8, 0.3)             # insertion: appends to a leaf
+    store.remove_edge(1, 5)               # deletion: swap-with-last
+    print("\nafter updates, neighbors of 1:", sorted(store.neighbors(1)))
+
+    # --- weighted neighbor sampling (ITS at internal nodes + FTS at leaf) ---
+    rng = random.Random(0)
+    draws = store.sample_neighbors(1, k=10_000, rng=rng)
+    print("\nempirical sampling distribution of vertex 1's neighbors:")
+    total = store.total_weight(1)
+    for dst, weight in sorted(store.neighbors(1)):
+        frac = draws.count(dst) / len(draws)
+        print(f"  {dst}: weight {weight:.1f} -> expected {weight / total:.3f}, "
+              f"sampled {frac:.3f}")
+
+    # --- a larger graph: memory accounting ----------------------------------
+    big = DynamicGraphStore()
+    for i in range(50_000):
+        big.add_edge(i % 500, (7 << 40) + i, 1.0 + i % 3)
+    print(f"\n50K-edge store, modeled footprint: {humanize_bytes(big.nbytes())}")
+    print(f"  ({big.nbytes() / big.num_edges:.1f} bytes/edge with CP-IDs "
+          "compression)")
+
+    no_cp = DynamicGraphStore(SamtreeConfig(compress=False))
+    for i in range(50_000):
+        no_cp.add_edge(i % 500, (7 << 40) + i, 1.0 + i % 3)
+    print(f"  w/o CP: {humanize_bytes(no_cp.nbytes())} "
+          f"({no_cp.nbytes() / no_cp.num_edges:.1f} bytes/edge)")
+
+    # Every structural invariant can be validated at any time.
+    big.check_invariants()
+    print("\ninvariants OK")
+
+
+if __name__ == "__main__":
+    main()

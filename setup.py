@@ -1,0 +1,10 @@
+"""Shim for environments whose setuptools lacks PEP 660 editable wheels.
+
+``pip install -e .`` on a modern toolchain reads ``pyproject.toml``
+directly; offline boxes without the ``wheel`` package can fall back to
+``python setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

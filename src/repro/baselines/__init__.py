@@ -1,0 +1,16 @@
+"""Baseline systems the paper compares against, reimplemented faithfully:
+PlatoGL (block-based key-value store + CSTable/ITS) and AliGraph
+(hash-by-source static storage + alias sampling).
+"""
+
+from repro.baselines.aligraph import AliasTable, AliGraphStore
+from repro.baselines.platogl import NeighborBlock, PlatoGLStore
+from repro.baselines.static_csr import StaticCSRStore
+
+__all__ = [
+    "AliasTable",
+    "AliGraphStore",
+    "NeighborBlock",
+    "PlatoGLStore",
+    "StaticCSRStore",
+]

@@ -1,0 +1,58 @@
+"""Table/series renderers that mirror the paper's figures and tables."""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Sequence
+
+__all__ = ["format_table", "format_series", "speedup", "reduction_pct"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Fixed-width ASCII table."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(str(h)), *(len(r[i]) for r in cells)) if cells else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    xs: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    unit: str = "ms",
+    title: Optional[str] = None,
+) -> str:
+    """Render figure-style data: one row per x, one column per system."""
+    headers = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(xs):
+        row: List[object] = [x]
+        for name in series:
+            value = series[name][i]
+            row.append("o.o.m" if value != value else f"{value:.3f}{unit}")
+        rows.append(row)
+    return format_table(headers, rows, title)
+
+
+def speedup(baseline: float, ours: float) -> float:
+    """``baseline / ours`` (the paper's "faster by up to N times")."""
+    return baseline / ours if ours > 0 else float("inf")
+
+
+def reduction_pct(baseline: float, ours: float) -> float:
+    """Percentage reduction vs. a baseline (Table IV's ↓ column)."""
+    return 100.0 * (1.0 - ours / baseline) if baseline > 0 else 0.0

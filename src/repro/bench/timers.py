@@ -1,0 +1,51 @@
+"""Timing utilities for the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, List
+
+__all__ = ["Timer", "timed"]
+
+
+@dataclass
+class Timer:
+    """Accumulating stopwatch with per-lap records."""
+
+    laps: List[float] = field(default_factory=list)
+    _start: float = 0.0
+
+    def start(self) -> None:
+        self._start = time.perf_counter()
+
+    def stop(self) -> float:
+        lap = time.perf_counter() - self._start
+        self.laps.append(lap)
+        return lap
+
+    @property
+    def total(self) -> float:
+        return sum(self.laps)
+
+    @property
+    def mean(self) -> float:
+        return self.total / len(self.laps) if self.laps else 0.0
+
+    @property
+    def count(self) -> int:
+        return len(self.laps)
+
+    def reset(self) -> None:
+        self.laps.clear()
+
+
+@contextmanager
+def timed(timer: Timer) -> Iterator[None]:
+    """``with timed(t): ...`` records one lap."""
+    timer.start()
+    try:
+        yield
+    finally:
+        timer.stop()

@@ -1,0 +1,164 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Operational entry points a deployment actually uses:
+
+* ``stats``      — print Table III (published and scaled) for a dataset;
+* ``build``      — build a store from a scaled dataset, report time and
+                   modeled memory, optionally snapshot it to disk;
+* ``inspect``    — load a snapshot and summarise it;
+* ``sample``     — draw weighted neighbor samples from a snapshot;
+* ``selftest``   — run the structural invariant checks on a snapshot.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+import time
+from typing import List, Optional
+
+from repro.bench.workloads import build_store, make_store
+from repro.core.memory import humanize_bytes
+from repro.datasets.presets import load_dataset
+from repro.datasets.statistics import format_table3, published_table3_rows
+from repro.storage.checkpoint import load_store, save_store
+
+__all__ = ["main"]
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    if args.dataset == "all":
+        print("Published (paper Table III):")
+        print(format_table3(published_table3_rows()))
+        return 0
+    data = load_dataset(args.dataset, scale=args.scale)
+    print(format_table3(data.stats_rows()))
+    print(f"\nbi-directed total: {data.num_edges:,} edge inserts")
+    return 0
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    data = load_dataset(args.dataset, scale=args.scale)
+    store = make_store(args.system, capacity=args.capacity, alpha=args.alpha)
+    print(
+        f"building {args.dataset} (scale 1/{args.scale:g}, "
+        f"{data.num_edges:,} edge inserts) into {args.system}..."
+    )
+    result = build_store(store, data, batch_size=args.batch_size)
+    print(
+        f"  built in {result.seconds:.2f}s "
+        f"({result.ops_per_second:,.0f} edges/s)"
+    )
+    print(f"  edges: {store.num_edges:,}, sources: {store.num_sources:,}")
+    print(f"  modeled memory: {humanize_bytes(store.nbytes())}")
+    if args.output:
+        if args.system not in ("PlatoD2GL", "PlatoD2GL (w/o CP)"):
+            print("snapshots are supported for PlatoD2GL stores only",
+                  file=sys.stderr)
+            return 2
+        written = save_store(store, args.output)
+        print(f"  snapshot: {args.output} ({humanize_bytes(written)})")
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    store = load_store(args.snapshot)
+    print(f"snapshot: {args.snapshot}")
+    print(f"  config: capacity={store.config.capacity} "
+          f"alpha={store.config.alpha} compress={store.config.compress}")
+    print(f"  edges: {store.num_edges:,}")
+    print(f"  sources: {store.num_sources:,}")
+    print(f"  relations: {store.etypes()}")
+    print(f"  modeled memory: {humanize_bytes(store.nbytes())}")
+    degrees = sorted(
+        (store.degree(s, e) for e in store.etypes() for s in store.sources(e)),
+        reverse=True,
+    )
+    if degrees:
+        print(f"  max degree: {degrees[0]:,}; "
+              f"median: {degrees[len(degrees) // 2]:,}")
+    return 0
+
+
+def _cmd_sample(args: argparse.Namespace) -> int:
+    store = load_store(args.snapshot)
+    rng = random.Random(args.seed)
+    src = args.vertex
+    if src is None:
+        pool = list(store.sources(args.etype))
+        if not pool:
+            print("snapshot has no sources for that relation", file=sys.stderr)
+            return 2
+        src = pool[rng.randrange(len(pool))]
+    start = time.perf_counter()
+    draws = store.sample_neighbors(src, args.k, rng, args.etype)
+    elapsed = time.perf_counter() - start
+    print(f"{args.k} weighted draws from vertex {src} "
+          f"(degree {store.degree(src, args.etype)}) in {elapsed * 1e3:.2f}ms:")
+    print(" ", draws)
+    return 0
+
+
+def _cmd_selftest(args: argparse.Namespace) -> int:
+    store = load_store(args.snapshot)
+    store.check_invariants()
+    print(f"OK: {store.num_edges:,} edges, every samtree invariant holds")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PlatoD2GL reproduction command-line tools",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_stats = sub.add_parser("stats", help="dataset statistics (Table III)")
+    p_stats.add_argument(
+        "dataset", choices=["OGBN", "Reddit", "WeChat", "all"]
+    )
+    p_stats.add_argument("--scale", type=float, default=None)
+    p_stats.set_defaults(func=_cmd_stats)
+
+    p_build = sub.add_parser("build", help="build a store from a dataset")
+    p_build.add_argument("dataset", choices=["OGBN", "Reddit", "WeChat"])
+    p_build.add_argument(
+        "--system",
+        default="PlatoD2GL",
+        choices=["PlatoD2GL", "PlatoD2GL (w/o CP)", "PlatoGL", "AliGraph"],
+    )
+    p_build.add_argument("--scale", type=float, default=None)
+    p_build.add_argument("--capacity", type=int, default=256)
+    p_build.add_argument("--alpha", type=int, default=0)
+    p_build.add_argument("--batch-size", type=int, default=4096)
+    p_build.add_argument("--output", help="snapshot path to write")
+    p_build.set_defaults(func=_cmd_build)
+
+    p_inspect = sub.add_parser("inspect", help="summarise a snapshot")
+    p_inspect.add_argument("snapshot")
+    p_inspect.set_defaults(func=_cmd_inspect)
+
+    p_sample = sub.add_parser("sample", help="draw neighbors from a snapshot")
+    p_sample.add_argument("snapshot")
+    p_sample.add_argument("--vertex", type=int, default=None)
+    p_sample.add_argument("--k", type=int, default=10)
+    p_sample.add_argument("--etype", type=int, default=0)
+    p_sample.add_argument("--seed", type=int, default=0)
+    p_sample.set_defaults(func=_cmd_sample)
+
+    p_selftest = sub.add_parser(
+        "selftest", help="validate a snapshot's invariants"
+    )
+    p_selftest.add_argument("snapshot")
+    p_selftest.set_defaults(func=_cmd_selftest)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

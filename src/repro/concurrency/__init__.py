@@ -1,0 +1,20 @@
+"""Batch-based latch-free concurrency (paper §VI-B): PALM-style batching,
+thread partitioning, and the batch executor.
+"""
+
+from repro.concurrency.batch import (
+    OpGroup,
+    group_batch,
+    partition_groups,
+    sort_batch,
+)
+from repro.concurrency.palm import BatchResult, PalmExecutor
+
+__all__ = [
+    "OpGroup",
+    "group_batch",
+    "partition_groups",
+    "sort_batch",
+    "BatchResult",
+    "PalmExecutor",
+]

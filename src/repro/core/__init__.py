@@ -1,0 +1,64 @@
+"""Core of the PlatoD2GL reproduction: samtree, FSTable, CSTable, α-Split,
+CP-IDs compression, the dynamic topology store, and the memory model.
+"""
+
+from repro.core.alpha_split import alpha_split, hoare_partition, split_arrays
+from repro.core.compression import (
+    CompressedIDList,
+    PlainIDList,
+    make_id_list,
+)
+from repro.core.cstable import CSTable
+from repro.core.diff import apply_diff, diff_stores, edge_set, stores_equal
+from repro.core.fenwick import FSTable
+from repro.core.memory import DEFAULT_MEMORY_MODEL, MemoryModel, humanize_bytes
+from repro.core.metrics import InstrumentedStore, LatencyHistogram, StoreMetrics
+from repro.core.samtree import OpStats, Samtree, SamtreeConfig
+from repro.core.sampling import (
+    SamplingStrategy,
+    TopKByWeight,
+    UniformWithReplacement,
+    WeightedWithReplacement,
+    WeightedWithoutReplacement,
+    make_strategy,
+)
+from repro.core.temporal import TemporalGraphStore
+from repro.core.topology import DynamicGraphStore
+from repro.core.types import DEFAULT_ETYPE, Edge, EdgeOp, GraphStoreAPI, OpKind
+
+__all__ = [
+    "alpha_split",
+    "hoare_partition",
+    "split_arrays",
+    "CompressedIDList",
+    "PlainIDList",
+    "make_id_list",
+    "CSTable",
+    "apply_diff",
+    "diff_stores",
+    "edge_set",
+    "stores_equal",
+    "FSTable",
+    "MemoryModel",
+    "DEFAULT_MEMORY_MODEL",
+    "humanize_bytes",
+    "InstrumentedStore",
+    "LatencyHistogram",
+    "StoreMetrics",
+    "OpStats",
+    "Samtree",
+    "SamtreeConfig",
+    "SamplingStrategy",
+    "TopKByWeight",
+    "UniformWithReplacement",
+    "WeightedWithReplacement",
+    "WeightedWithoutReplacement",
+    "make_strategy",
+    "TemporalGraphStore",
+    "DynamicGraphStore",
+    "DEFAULT_ETYPE",
+    "Edge",
+    "EdgeOp",
+    "GraphStoreAPI",
+    "OpKind",
+]

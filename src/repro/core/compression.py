@@ -1,0 +1,364 @@
+"""CP-IDs: dynamic prefix compression of samtree ID lists (paper §VI-A).
+
+Vertex IDs are 64-bit integers.  IDs that co-habit one samtree node were
+routed there by their numeric order, so they overwhelmingly share their
+high-order bytes.  Instead of storing ``n`` full 8-byte IDs, a compressed
+node stores
+
+    z | prefix | suf(v_0) | suf(v_1) | ... | suf(v_{n-1})        (Eq. 7)
+
+where ``z`` is the shared-prefix length in bytes, ``prefix`` is those
+``z`` high bytes, and each suffix is the remaining ``8 - z`` bytes.  The
+paper restricts ``z`` to ``{0, 4, 6, 7}`` so the compressor only has to
+test three candidate prefixes ("for fast compression").
+
+The structure is *dynamic*: appending an ID whose high bytes disagree
+with the current prefix triggers an in-place re-pack at the widest still
+valid ``z`` (paper Appendix A).  Deletion uses swap-with-last, mirroring
+the leaf/FSTable semantics.
+
+:class:`PlainIDList` is the uncompressed twin used by the "w/o CP"
+ablation; both classes satisfy the same interface so the samtree is
+agnostic to which one backs its leaves.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import IndexOutOfRangeError, InvalidWeightError
+
+__all__ = [
+    "ALLOWED_PREFIX_LENGTHS",
+    "ID_BYTES",
+    "MAX_ID",
+    "CompressedIDList",
+    "PlainIDList",
+    "make_id_list",
+    "common_prefix_length",
+]
+
+#: Width of a vertex ID in bytes (64-bit IDs throughout the system).
+ID_BYTES = 8
+
+#: Largest representable vertex ID.
+MAX_ID = (1 << (8 * ID_BYTES)) - 1
+
+#: Prefix lengths the paper allows, widest first (``m in {0, 4, 6, 7}``).
+ALLOWED_PREFIX_LENGTHS: Tuple[int, ...] = (7, 6, 4, 0)
+
+
+def _check_id(vertex_id: int) -> int:
+    vertex_id = int(vertex_id)
+    if not 0 <= vertex_id <= MAX_ID:
+        raise InvalidWeightError(
+            f"vertex IDs must fit in {8 * ID_BYTES} unsigned bits, got {vertex_id}"
+        )
+    return vertex_id
+
+
+def _id_to_bytes(vertex_id: int) -> bytes:
+    return vertex_id.to_bytes(ID_BYTES, "big")
+
+
+def common_prefix_length(a: bytes, b: bytes) -> int:
+    """Number of leading bytes shared by two 8-byte big-endian IDs."""
+    n = 0
+    for x, y in zip(a, b):
+        if x != y:
+            break
+        n += 1
+    return n
+
+
+def _snap_prefix_length(raw: int) -> int:
+    """Largest allowed prefix length that does not exceed ``raw``."""
+    for z in ALLOWED_PREFIX_LENGTHS:
+        if z <= raw:
+            return z
+    return 0
+
+
+class CompressedIDList:
+    """A CP-IDs list: shared prefix + packed fixed-width suffixes.
+
+    Supports the exact operations a samtree leaf needs — append,
+    positional read, in-place overwrite, swap-delete, membership scan —
+    each touching only the packed byte buffer.
+    """
+
+    __slots__ = ("_z", "_prefix", "_prefix_int", "_suffixes", "_n")
+
+    def __init__(self, ids: Optional[Iterable[int]] = None) -> None:
+        self._z: int = ALLOWED_PREFIX_LENGTHS[0]
+        self._prefix: bytes = b""
+        self._prefix_int: int = 0  # prefix shifted into the high bytes
+        self._suffixes = bytearray()
+        self._n: int = 0
+        if ids is not None:
+            id_list = [_check_id(v) for v in ids]
+            if id_list:
+                self._repack(id_list)
+
+    # ------------------------------------------------------------------
+    # internal helpers
+    # ------------------------------------------------------------------
+    def _suffix_width(self) -> int:
+        return ID_BYTES - self._z
+
+    def _repack(self, ids: Sequence[int]) -> None:
+        """Recompute the widest valid prefix and re-encode every ID."""
+        encoded = [_id_to_bytes(v) for v in ids]
+        first = encoded[0]
+        raw = ID_BYTES
+        for e in encoded[1:]:
+            raw = min(raw, common_prefix_length(first, e))
+            if raw == 0:
+                break
+        z = _snap_prefix_length(min(raw, ID_BYTES - 1))
+        width = ID_BYTES - z
+        self._z = z
+        self._prefix = first[:z]
+        self._prefix_int = int.from_bytes(
+            self._prefix + b"\x00" * width, "big"
+        )
+        buf = bytearray(len(encoded) * width)
+        for i, e in enumerate(encoded):
+            buf[i * width : (i + 1) * width] = e[z:]
+        self._suffixes = buf
+        self._n = len(encoded)
+
+    def _decode(self, i: int) -> int:
+        width = ID_BYTES - self._z
+        base = i * width
+        return self._prefix_int | int.from_bytes(
+            self._suffixes[base : base + width], "big"
+        )
+
+    def _check_index(self, i: int) -> None:
+        if not 0 <= i < self._n:
+            raise IndexOutOfRangeError(
+                f"index {i} out of range for ID list of {self._n} elements"
+            )
+
+    # ------------------------------------------------------------------
+    # read interface
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._n
+
+    def __bool__(self) -> bool:
+        return self._n > 0
+
+    def __iter__(self) -> Iterator[int]:
+        width = self._suffix_width()
+        prefix_int = self._prefix_int
+        buf = self._suffixes
+        from_bytes = int.from_bytes
+        for i in range(self._n):
+            yield prefix_int | from_bytes(buf[i * width : (i + 1) * width], "big")
+
+    def __getitem__(self, i: int) -> int:
+        self._check_index(i)
+        return self._decode(i)
+
+    def __contains__(self, vertex_id: int) -> bool:
+        return self.index_of(vertex_id) is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"CompressedIDList(n={self._n}, z={self._z})"
+
+    @property
+    def prefix_length(self) -> int:
+        """Current shared-prefix length ``z`` in bytes."""
+        return self._z if self._n else ALLOWED_PREFIX_LENGTHS[0]
+
+    def to_list(self) -> List[int]:
+        """Decode the full ID list."""
+        return list(self)
+
+    def index_of(self, vertex_id: int) -> Optional[int]:
+        """Linear membership scan over the packed buffer.
+
+        Leaf ID lists are unordered (samtree constraint 2), so membership
+        is a scan; it runs over the byte buffer with ``bytes.find`` on
+        suffix-aligned offsets, skipping IDs whose prefix cannot match.
+        """
+        vertex_id = _check_id(vertex_id)
+        if self._n == 0:
+            return None
+        encoded = _id_to_bytes(vertex_id)
+        if encoded[: self._z] != self._prefix:
+            return None
+        needle = encoded[self._z :]
+        width = self._suffix_width()
+        buf = self._suffixes
+        start = 0
+        end = self._n * width
+        while True:
+            pos = buf.find(needle, start, end)
+            if pos < 0:
+                return None
+            if pos % width == 0:
+                return pos // width
+            # Unaligned hit: resume from the next suffix boundary.
+            start = pos + (width - pos % width)
+
+    # ------------------------------------------------------------------
+    # write interface
+    # ------------------------------------------------------------------
+    def append(self, vertex_id: int) -> None:
+        """Append an ID; re-packs at a narrower prefix when needed."""
+        vertex_id = _check_id(vertex_id)
+        if self._n == 0:
+            self._repack([vertex_id])
+            return
+        encoded = _id_to_bytes(vertex_id)
+        if encoded[: self._z] == self._prefix:
+            self._suffixes.extend(encoded[self._z :])
+            self._n += 1
+            return
+        ids = self.to_list()
+        ids.append(vertex_id)
+        self._repack(ids)
+
+    def extend(self, ids: Iterable[int]) -> None:
+        """Append many IDs."""
+        for v in ids:
+            self.append(v)
+
+    def set(self, i: int, vertex_id: int) -> None:
+        """Overwrite position ``i`` (re-packs when the prefix breaks)."""
+        self._check_index(i)
+        vertex_id = _check_id(vertex_id)
+        encoded = _id_to_bytes(vertex_id)
+        if encoded[: self._z] == self._prefix:
+            width = self._suffix_width()
+            self._suffixes[i * width : (i + 1) * width] = encoded[self._z :]
+            return
+        ids = self.to_list()
+        ids[i] = vertex_id
+        self._repack(ids)
+
+    def swap_delete(self, i: int) -> int:
+        """Remove position ``i`` by swap-with-last; returns the removed ID.
+
+        Matches the FSTable delete: position ``i`` afterwards holds what
+        used to be the last ID.
+        """
+        self._check_index(i)
+        removed = self._decode(i)
+        width = self._suffix_width()
+        last = self._n - 1
+        if i != last:
+            self._suffixes[i * width : (i + 1) * width] = self._suffixes[
+                last * width : (last + 1) * width
+            ]
+        del self._suffixes[last * width :]
+        self._n -= 1
+        if self._n == 0:
+            self._z = ALLOWED_PREFIX_LENGTHS[0]
+            self._prefix = b""
+            self._prefix_int = 0
+        return removed
+
+    def clear(self) -> None:
+        """Remove all IDs."""
+        self._z = ALLOWED_PREFIX_LENGTHS[0]
+        self._prefix = b""
+        self._prefix_int = 0
+        self._suffixes = bytearray()
+        self._n = 0
+
+    # ------------------------------------------------------------------
+    # memory accounting
+    # ------------------------------------------------------------------
+    def nbytes(self) -> int:
+        """Modeled bytes: ``1 (z) + z (prefix) + n * (8 - z)`` (Eq. 7)."""
+        if self._n == 0:
+            return 1
+        return 1 + self._z + self._n * self._suffix_width()
+
+
+class PlainIDList:
+    """Uncompressed ID list with the same interface (the "w/o CP" twin)."""
+
+    __slots__ = ("_ids",)
+
+    def __init__(self, ids: Optional[Iterable[int]] = None) -> None:
+        self._ids: List[int] = [_check_id(v) for v in ids] if ids else []
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __bool__(self) -> bool:
+        return bool(self._ids)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._ids)
+
+    def __getitem__(self, i: int) -> int:
+        if not 0 <= i < len(self._ids):
+            raise IndexOutOfRangeError(
+                f"index {i} out of range for ID list of {len(self._ids)} elements"
+            )
+        return self._ids[i]
+
+    def __contains__(self, vertex_id: int) -> bool:
+        return vertex_id in self._ids
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"PlainIDList(n={len(self._ids)})"
+
+    @property
+    def prefix_length(self) -> int:
+        """Always 0 — no compression."""
+        return 0
+
+    def to_list(self) -> List[int]:
+        return list(self._ids)
+
+    def index_of(self, vertex_id: int) -> Optional[int]:
+        try:
+            return self._ids.index(vertex_id)
+        except ValueError:
+            return None
+
+    def append(self, vertex_id: int) -> None:
+        self._ids.append(_check_id(vertex_id))
+
+    def extend(self, ids: Iterable[int]) -> None:
+        for v in ids:
+            self.append(v)
+
+    def set(self, i: int, vertex_id: int) -> None:
+        if not 0 <= i < len(self._ids):
+            raise IndexOutOfRangeError(
+                f"index {i} out of range for ID list of {len(self._ids)} elements"
+            )
+        self._ids[i] = _check_id(vertex_id)
+
+    def swap_delete(self, i: int) -> int:
+        if not 0 <= i < len(self._ids):
+            raise IndexOutOfRangeError(
+                f"index {i} out of range for ID list of {len(self._ids)} elements"
+            )
+        removed = self._ids[i]
+        last = self._ids.pop()
+        if i < len(self._ids):
+            self._ids[i] = last
+        return removed
+
+    def clear(self) -> None:
+        self._ids.clear()
+
+    def nbytes(self) -> int:
+        """Modeled bytes: one full 8-byte ID per element."""
+        return ID_BYTES * len(self._ids)
+
+
+def make_id_list(
+    compress: bool, ids: Optional[Iterable[int]] = None
+):
+    """Factory: a compressed or plain ID list behind one interface."""
+    return CompressedIDList(ids) if compress else PlainIDList(ids)

@@ -1,0 +1,79 @@
+"""Graph diffing: the update stream that turns one store into another.
+
+Replication, snapshot catch-up, and test assertions all need the same
+primitive: given stores A and B, produce the :class:`EdgeOp` sequence
+that transforms A into B.  The diff is minimal per edge — an edge gets
+one insert, one update, or one delete — and deterministic (sorted), so
+applying it is idempotent-by-construction and the empty diff doubles as
+a store-equality check.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.types import DEFAULT_ETYPE, EdgeOp, GraphStoreAPI
+
+__all__ = ["edge_set", "diff_stores", "apply_diff", "stores_equal"]
+
+_EdgeKey = Tuple[int, int, int]  # (etype, src, dst)
+
+
+def edge_set(store: GraphStoreAPI) -> Dict[_EdgeKey, float]:
+    """Materialise a store's full edge map ``(etype, src, dst) -> w``."""
+    getter = getattr(store, "etypes", None)
+    etypes = list(getter()) if getter is not None else [DEFAULT_ETYPE]
+    out: Dict[_EdgeKey, float] = {}
+    for etype in etypes:
+        for src in store.sources(etype):
+            for dst, weight in store.neighbors(src, etype):
+                out[(etype, src, dst)] = weight
+    return out
+
+
+def diff_stores(
+    source: GraphStoreAPI,
+    target: GraphStoreAPI,
+    weight_tolerance: float = 1e-9,
+) -> List[EdgeOp]:
+    """Ops that transform ``source``'s graph into ``target``'s.
+
+    Weight differences within ``weight_tolerance`` (relative to the
+    larger magnitude, floored at absolute scale 1) are treated as equal
+    — float drift from different op orders must not produce phantom
+    updates.
+    """
+    src_edges = edge_set(source)
+    dst_edges = edge_set(target)
+    ops: List[EdgeOp] = []
+    for key in sorted(src_edges.keys() - dst_edges.keys()):
+        etype, src, dst = key
+        ops.append(EdgeOp.delete(src, dst, etype))
+    for key in sorted(dst_edges.keys() - src_edges.keys()):
+        etype, src, dst = key
+        ops.append(EdgeOp.insert(src, dst, dst_edges[key], etype))
+    for key in sorted(src_edges.keys() & dst_edges.keys()):
+        a, b = src_edges[key], dst_edges[key]
+        tol = weight_tolerance * max(1.0, abs(a), abs(b))
+        if abs(a - b) > tol:
+            etype, src, dst = key
+            ops.append(EdgeOp.update(src, dst, b, etype))
+    return ops
+
+
+def apply_diff(store: GraphStoreAPI, ops: List[EdgeOp]) -> int:
+    """Apply a diff; returns the number of ops that changed the store."""
+    changed = 0
+    for op in ops:
+        if store.apply(op):
+            changed += 1
+    return changed
+
+
+def stores_equal(
+    a: GraphStoreAPI,
+    b: GraphStoreAPI,
+    weight_tolerance: float = 1e-9,
+) -> bool:
+    """Whether two stores expose the same graph (any backend mix)."""
+    return not diff_stores(a, b, weight_tolerance)

@@ -1,0 +1,350 @@
+"""FSTable: the Fenwick-tree-based sum table of PlatoD2GL (paper §V-A).
+
+The FSTable is the sampling index attached to every *leaf* node of a
+samtree.  For a leaf holding the weight array ``A = [w_0, ..., w_{n-1}]``
+(indices are 0-based as in the paper), the table stores
+
+    F[i] = sum(A[g(i) + 1 : i + 1])      with  g(i) = i - LSB(i + 1)
+
+where ``LSB(x)`` is the value of the lowest set bit of ``x``.  The paper
+calls these *soft prefix sums*: each entry covers a power-of-two aligned
+range ending at its own index, which is exactly the classic Fenwick (binary
+indexed tree) layout shifted to 0-based indices.
+
+Compared with the flat cumulative-sum table (CSTable) used by PlatoGL,
+every dynamic operation is logarithmic (paper Table II):
+
+==================  =========  ==========
+operation           CSTable    FSTable
+==================  =========  ==========
+append (insert)     O(1)       O(log n)
+in-place update     O(n)       O(log n)
+delete              O(n)       O(log n)
+weighted sample     O(log n)   O(log n)
+==================  =========  ==========
+
+Sampling uses the paper's FTS method (Algorithm 5): a *range-narrow*
+binary search over the padded range ``[0, 2^m - 1]`` that exploits the
+sub-tree-sum property ``F[2^k - 1] == prefix_sum(2^k - 1)`` (Theorem 4),
+subtracting covered mass when descending to the right half.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from repro.errors import (
+    EmptyStructureError,
+    IndexOutOfRangeError,
+    InvalidWeightError,
+)
+
+__all__ = ["FSTable", "lsb"]
+
+
+def lsb(x: int) -> int:
+    """Return the value of the lowest set bit of ``x`` (``LSB`` in the paper).
+
+    ``lsb(6) == 2`` because ``6 == 0b110``.  ``x`` must be positive.
+    """
+    if x <= 0:
+        raise IndexOutOfRangeError(f"lsb() requires a positive integer, got {x}")
+    return x & -x
+
+
+_INF = float("inf")
+
+
+def _validate_weight(weight: float) -> float:
+    weight = float(weight)
+    # weight != weight catches NaN without a math-module call.
+    if weight < 0.0 or weight != weight or weight == _INF:
+        raise InvalidWeightError(
+            f"edge weights must be finite and non-negative, got {weight!r}"
+        )
+    return weight
+
+
+class FSTable:
+    """Fenwick-tree sum table over a leaf's (unordered) weight array.
+
+    The table only stores the Fenwick entries; raw weights are *recovered*
+    from the tree when needed (``weight(i)``), matching the paper's claim
+    that the index takes the same memory as storing the weights themselves.
+
+    Parameters
+    ----------
+    weights:
+        Optional initial weights.  Building from ``n`` weights costs
+        ``O(n)`` using the child-accumulation construction.
+    """
+
+    __slots__ = ("_tree",)
+
+    def __init__(self, weights: Optional[Iterable[float]] = None) -> None:
+        self._tree: List[float] = []
+        if weights is not None:
+            self._build(list(weights))
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _build(self, weights: Sequence[float]) -> None:
+        """O(n) bulk construction: start from raw weights then push each
+        entry into its parent, the standard linear Fenwick build."""
+        tree = [_validate_weight(w) for w in weights]
+        n = len(tree)
+        for i in range(n):
+            parent = i | (i + 1)  # == i + lsb(i + 1)
+            if parent < n:
+                tree[parent] += tree[i]
+        self._tree = tree
+
+    @classmethod
+    def from_weights(cls, weights: Iterable[float]) -> "FSTable":
+        """Build an FSTable from an iterable of raw weights in ``O(n)``."""
+        return cls(weights)
+
+    # ------------------------------------------------------------------
+    # basic protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._tree)
+
+    def __bool__(self) -> bool:
+        return bool(self._tree)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"FSTable(n={len(self._tree)}, total={self.total():.6g})"
+
+    def __iter__(self) -> Iterator[float]:
+        """Iterate over *raw* weights (not Fenwick entries) in ``O(n)``."""
+        return iter(self.to_weights())
+
+    def entry(self, i: int) -> float:
+        """Return the raw Fenwick entry ``F[i]`` (mostly for tests/debug)."""
+        self._check_index(i)
+        return self._tree[i]
+
+    def _check_index(self, i: int) -> None:
+        if not 0 <= i < len(self._tree):
+            raise IndexOutOfRangeError(
+                f"index {i} out of range for FSTable of {len(self._tree)} elements"
+            )
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def prefix_sum(self, i: int) -> float:
+        """Return ``w_0 + ... + w_i`` in ``O(log n)``."""
+        self._check_index(i)
+        total = 0.0
+        j = i
+        while j >= 0:
+            total += self._tree[j]
+            j = (j & (j + 1)) - 1  # strip the range covered by F[j]
+        return total
+
+    def total(self) -> float:
+        """Sum of all weights — the paper's ``getAllSum`` (Algorithm 5).
+
+        Walks ``i <- i - LSB(i)`` from ``n`` down to ``0`` in ``O(log n)``.
+        """
+        tree = self._tree
+        s = 0.0
+        i = len(tree)
+        while i > 0:
+            s += tree[i - 1]
+            i -= i & -i
+        return s
+
+    def weight(self, i: int) -> float:
+        """Recover the raw weight ``w_i`` in ``O(log n)``.
+
+        ``F[i]`` covers ``[g(i)+1, i]``; subtracting the entries of the
+        children of ``i`` (``x = i - 2^k`` with ``LSB(x+1) == 2^k``)
+        leaves exactly ``w_i``.
+        """
+        self._check_index(i)
+        tree = self._tree
+        value = tree[i]
+        span = (i + 1) & -(i + 1)
+        step = 1
+        while step < span:
+            value -= tree[i - step]
+            step <<= 1
+        return value
+
+    def to_weights(self) -> List[float]:
+        """Return the raw weight array in ``O(n)`` (reverse construction)."""
+        weights = list(self._tree)
+        n = len(weights)
+        # Undo the bulk build: iterate top-down removing child contributions.
+        for i in range(n - 1, -1, -1):
+            parent = i | (i + 1)
+            if parent < n:
+                weights[parent] -= weights[i]
+        return weights
+
+    # ------------------------------------------------------------------
+    # dynamic updates (paper Algorithms 3 and 4)
+    # ------------------------------------------------------------------
+    def add(self, i: int, delta: float) -> None:
+        """Add ``delta`` to ``w_i`` — Algorithm 3 (in-place update).
+
+        Updates every Fenwick entry whose range covers ``i`` by walking
+        ``i <- i + LSB(i + 1)``; ``O(log n)``.
+        """
+        self._check_index(i)
+        n = len(self._tree)
+        if delta != delta or delta == _INF or delta == -_INF:
+            raise InvalidWeightError(f"delta must be finite, got {delta!r}")
+        tree = self._tree
+        j = i
+        while j < n:
+            tree[j] += delta
+            j |= j + 1  # == j + lsb(j + 1)
+
+    def update(self, i: int, new_weight: float) -> float:
+        """Set ``w_i`` to ``new_weight``; returns the previous weight."""
+        new_weight = _validate_weight(new_weight)
+        self._check_index(i)
+        tree = self._tree
+        # Recover w_i inline (children subtraction), then push the delta.
+        old = tree[i]
+        span = (i + 1) & -(i + 1)
+        step = 1
+        while step < span:
+            old -= tree[i - step]
+            step <<= 1
+        delta = new_weight - old
+        if delta:
+            n = len(tree)
+            j = i
+            while j < n:
+                tree[j] += delta
+                j |= j + 1
+        return old
+
+    def append(self, weight: float) -> int:
+        """Append a new weight at index ``n`` — Algorithm 4 (new insertion).
+
+        The new entry ``F[n]`` must cover ``[g(n)+1, n]``; its value is the
+        new weight plus the entries of its children, found by enumerating
+        the trailing-zero count ``k`` of candidate child indices.  Returns
+        the index of the appended element.  ``O(log n)``.
+        """
+        weight = _validate_weight(weight)
+        tree = self._tree
+        i = len(tree)
+        s = weight
+        step = 1
+        limit = i + 1
+        while step < limit:
+            x1 = i - step + 1  # candidate child index + 1
+            if x1 > 0 and x1 & -x1 == step:
+                s += tree[x1 - 1]
+            step <<= 1
+        tree.append(s)
+        return i
+
+    def delete(self, i: int) -> float:
+        """Delete the element at ``i`` by swap-with-last (paper §V-A.2).
+
+        Mirrors the leaf-node semantics: the element at ``i`` is replaced
+        by the last element, then the table shrinks by one.  The caller
+        must apply the *same swap* to the leaf's ID list.  Returns the
+        deleted weight.  ``O(log n)``.
+        """
+        self._check_index(i)
+        n = len(self._tree)
+        last = n - 1
+        if i == last:
+            # F entries with index < last never cover index `last`
+            # (every range [g(j)+1, j] ends at j), so truncation is exact.
+            deleted = self.weight(last)
+            self._tree.pop()
+            return deleted
+        deleted = self.weight(i)
+        moved = self.weight(last)
+        self._tree.pop()
+        self.add(i, moved - deleted)
+        return deleted
+
+    def extend(self, weights: Iterable[float]) -> None:
+        """Append many weights (each in ``O(log n)``)."""
+        for w in weights:
+            self.append(w)
+
+    def clear(self) -> None:
+        """Remove all elements."""
+        self._tree.clear()
+
+    # ------------------------------------------------------------------
+    # FTS sampling (paper Algorithm 5)
+    # ------------------------------------------------------------------
+    def sample_with(self, r: float) -> int:
+        """Deterministic FTS: return the index ``p`` selected by mass ``r``.
+
+        ``r`` must lie in ``[0, total())``.  Equivalent to the ITS rule of
+        finding the smallest ``i`` with ``prefix_sum(i) > r`` but computed
+        directly on the soft prefix sums via range narrowing.
+        """
+        n = len(self._tree)
+        if n == 0:
+            raise EmptyStructureError("cannot sample from an empty FSTable")
+        if r < 0:
+            raise InvalidWeightError(f"sampling mass must be non-negative, got {r}")
+        # Pad the search range to the next power of two (paper line 3).
+        tree = self._tree
+        m = 1
+        while m < n:
+            m <<= 1
+        left, right = 0, m - 1
+        remaining = r
+        while left < right:
+            mid = (left + right) >> 1
+            if mid >= n:
+                right = mid
+                continue
+            value = tree[mid]
+            if value > remaining:
+                right = mid
+            else:
+                remaining -= value
+                left = mid + 1
+        if left >= n:
+            # Only reachable when r >= total() (caller passed too much mass);
+            # clamp to the last valid element for robustness.
+            left = n - 1
+        return left
+
+    def sample(self, rng: Optional[random.Random] = None) -> int:
+        """Draw one index with probability proportional to its weight."""
+        total = self.total()
+        if total <= 0.0:
+            if not self._tree:
+                raise EmptyStructureError("cannot sample from an empty FSTable")
+            # All-zero weights degenerate to uniform sampling.
+            rand = rng.random() if rng is not None else random.random()
+            return int(rand * len(self._tree)) % len(self._tree)
+        rand = rng.random() if rng is not None else random.random()
+        return self.sample_with(rand * total)
+
+    def sample_many(
+        self, k: int, rng: Optional[random.Random] = None
+    ) -> List[int]:
+        """Draw ``k`` indices with replacement (``O(k log n)``)."""
+        if k < 0:
+            raise IndexOutOfRangeError(f"sample count must be >= 0, got {k}")
+        return [self.sample(rng) for _ in range(k)]
+
+    # ------------------------------------------------------------------
+    # memory accounting
+    # ------------------------------------------------------------------
+    def nbytes(self, weight_bytes: int = 4) -> int:
+        """Bytes a C implementation would use: one weight-sized slot per
+        element (the FSTable replaces — not supplements — the raw weights).
+        """
+        return weight_bytes * len(self._tree)

@@ -1,0 +1,217 @@
+"""Observability: latency histograms and an instrumented store wrapper.
+
+A production storage tier lives or dies by its tail latencies; the
+paper's evaluation reports means, but the deployed system necessarily
+watches distributions.  This module provides:
+
+* :class:`LatencyHistogram` — log₂-bucketed latency recording with
+  count/mean/percentile readout, mergeable across threads;
+* :class:`StoreMetrics` — one histogram per operation family
+  (insert / update / delete / sample / read);
+* :class:`InstrumentedStore` — a :class:`GraphStoreAPI` wrapper that
+  times every call into the wrapped store.  Drop-in: benchmarks,
+  samplers, the PALM executor, and the distributed client all accept it
+  unchanged.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Dict, Iterator, List, Optional
+
+from repro.core.memory import DEFAULT_MEMORY_MODEL, MemoryModel
+from repro.core.types import DEFAULT_ETYPE, GraphStoreAPI
+from repro.errors import ConfigurationError
+
+__all__ = ["LatencyHistogram", "StoreMetrics", "InstrumentedStore"]
+
+#: Bucket 0 covers < 1 µs; bucket i covers [2^(i-1), 2^i) µs.
+_NUM_BUCKETS = 24
+
+
+class LatencyHistogram:
+    """Log₂-bucketed latency histogram (microsecond resolution)."""
+
+    __slots__ = ("_buckets", "_count", "_sum", "_max")
+
+    def __init__(self) -> None:
+        self._buckets = [0] * _NUM_BUCKETS
+        self._count = 0
+        self._sum = 0.0
+        self._max = 0.0
+
+    def record(self, seconds: float) -> None:
+        """Record one observation."""
+        if seconds < 0:
+            raise ConfigurationError(f"latency cannot be negative: {seconds}")
+        us = seconds * 1e6
+        bucket = 0
+        value = int(us)
+        while value > 0 and bucket < _NUM_BUCKETS - 1:
+            value >>= 1
+            bucket += 1
+        self._buckets[bucket] += 1
+        self._count += 1
+        self._sum += seconds
+        if seconds > self._max:
+            self._max = seconds
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        """Mean latency in seconds."""
+        return self._sum / self._count if self._count else 0.0
+
+    @property
+    def max(self) -> float:
+        """Largest recorded latency in seconds."""
+        return self._max
+
+    def percentile(self, q: float) -> float:
+        """Approximate latency at quantile ``q`` (bucket upper bound,
+        seconds).  q in [0, 1]."""
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError(f"quantile must be in [0, 1], got {q}")
+        if self._count == 0:
+            return 0.0
+        target = q * self._count
+        seen = 0
+        for i, c in enumerate(self._buckets):
+            seen += c
+            if seen >= target:
+                return (1 << i) * 1e-6
+        return self._max
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold another histogram into this one."""
+        for i in range(_NUM_BUCKETS):
+            self._buckets[i] += other._buckets[i]
+        self._count += other._count
+        self._sum += other._sum
+        self._max = max(self._max, other._max)
+
+    def reset(self) -> None:
+        self._buckets = [0] * _NUM_BUCKETS
+        self._count = 0
+        self._sum = 0.0
+        self._max = 0.0
+
+    def summary(self) -> Dict[str, float]:
+        """count / mean / p50 / p99 / max in one dict (seconds)."""
+        return {
+            "count": float(self._count),
+            "mean": self.mean,
+            "p50": self.percentile(0.50),
+            "p99": self.percentile(0.99),
+            "max": self._max,
+        }
+
+
+class StoreMetrics:
+    """One histogram per store operation family."""
+
+    FAMILIES = ("insert", "update", "delete", "sample", "read")
+
+    def __init__(self) -> None:
+        self.histograms: Dict[str, LatencyHistogram] = {
+            family: LatencyHistogram() for family in self.FAMILIES
+        }
+
+    def record(self, family: str, seconds: float) -> None:
+        hist = self.histograms.get(family)
+        if hist is None:
+            raise ConfigurationError(
+                f"unknown op family {family!r}; known: {self.FAMILIES}"
+            )
+        hist.record(seconds)
+
+    def reset(self) -> None:
+        for hist in self.histograms.values():
+            hist.reset()
+
+    def report(self) -> str:
+        """Fixed-width summary of every family (µs units)."""
+        lines = [
+            f"{'op':<8} {'count':>8} {'mean':>10} {'p50':>10} {'p99':>10}"
+        ]
+        for family in self.FAMILIES:
+            s = self.histograms[family].summary()
+            lines.append(
+                f"{family:<8} {int(s['count']):>8} "
+                f"{s['mean'] * 1e6:>9.2f}u {s['p50'] * 1e6:>9.2f}u "
+                f"{s['p99'] * 1e6:>9.2f}u"
+            )
+        return "\n".join(lines)
+
+
+class InstrumentedStore(GraphStoreAPI):
+    """Times every operation against a wrapped topology store."""
+
+    def __init__(self, store: GraphStoreAPI) -> None:
+        self.store = store
+        self.metrics = StoreMetrics()
+
+    def _timed(self, family: str, fn, *args, **kwargs):
+        start = time.perf_counter()
+        try:
+            return fn(*args, **kwargs)
+        finally:
+            self.metrics.record(family, time.perf_counter() - start)
+
+    # -- updates ----------------------------------------------------------
+    def add_edge(self, src, dst, weight=1.0, etype=DEFAULT_ETYPE):
+        return self._timed("insert", self.store.add_edge, src, dst, weight, etype)
+
+    def update_edge(self, src, dst, weight, etype=DEFAULT_ETYPE):
+        return self._timed(
+            "update", self.store.update_edge, src, dst, weight, etype
+        )
+
+    def remove_edge(self, src, dst, etype=DEFAULT_ETYPE):
+        return self._timed("delete", self.store.remove_edge, src, dst, etype)
+
+    # -- queries ------------------------------------------------------------
+    def degree(self, src, etype=DEFAULT_ETYPE):
+        return self._timed("read", self.store.degree, src, etype)
+
+    def edge_weight(self, src, dst, etype=DEFAULT_ETYPE):
+        return self._timed("read", self.store.edge_weight, src, dst, etype)
+
+    def neighbors(self, src, etype=DEFAULT_ETYPE):
+        return self._timed("read", self.store.neighbors, src, etype)
+
+    @property
+    def num_edges(self) -> int:
+        return self.store.num_edges
+
+    @property
+    def num_sources(self) -> int:
+        return self.store.num_sources
+
+    def sources(self, etype: int = DEFAULT_ETYPE) -> Iterator[int]:
+        return self.store.sources(etype)
+
+    # -- sampling -------------------------------------------------------------
+    def sample_neighbors(
+        self,
+        src: int,
+        k: int,
+        rng: Optional[random.Random] = None,
+        etype: int = DEFAULT_ETYPE,
+    ) -> List[int]:
+        return self._timed(
+            "sample", self.store.sample_neighbors, src, k, rng, etype
+        )
+
+    # -- accounting -----------------------------------------------------------
+    def nbytes(self, model: MemoryModel = DEFAULT_MEMORY_MODEL) -> int:
+        return self.store.nbytes(model)
+
+    def check_invariants(self) -> None:
+        check = getattr(self.store, "check_invariants", None)
+        if check is not None:
+            check()

@@ -1,0 +1,183 @@
+"""Neighbor-sampling strategies over a samtree (paper §V-C and beyond).
+
+The paper's complete neighbor sampling — one mass drawn in ``[0, w_s)``,
+narrowed by ITS at internal nodes and FTS at the leaf — lives on
+:meth:`repro.core.samtree.Samtree.sample`.  This module packages the
+*policies* GNN workloads layer on top of that primitive:
+
+* :class:`WeightedWithReplacement` — the paper's default (independent
+  draws, probability ``w_u / w_s`` each);
+* :class:`WeightedWithoutReplacement` — distinct neighbors, successive
+  draws re-weighted by removal (A-ES style via rejection against a
+  shrinking mass);
+* :class:`UniformWithReplacement` — unweighted random sampling (§II-B's
+  other basic operation), via the samtree's per-child counts;
+* :class:`TopKByWeight` — deterministic heaviest-``k`` neighbors, the
+  policy production recommenders use for "strongest interactions".
+
+Every strategy returns *at most* ``k`` IDs and never pads; padding
+conventions belong to the operator layer (:mod:`repro.gnn.samplers`).
+"""
+
+from __future__ import annotations
+
+import abc
+import heapq
+import random
+from typing import List, Optional
+
+from repro.core.samtree import Samtree
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "SamplingStrategy",
+    "WeightedWithReplacement",
+    "WeightedWithoutReplacement",
+    "UniformWithReplacement",
+    "TopKByWeight",
+    "make_strategy",
+]
+
+
+class SamplingStrategy(abc.ABC):
+    """A neighbor-selection policy over one samtree."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def sample(
+        self,
+        tree: Samtree,
+        k: int,
+        rng: Optional[random.Random] = None,
+    ) -> List[int]:
+        """Select up to ``k`` neighbor IDs from ``tree``."""
+
+    @staticmethod
+    def _check_k(k: int) -> None:
+        if k < 0:
+            raise ConfigurationError(f"sample count must be >= 0, got {k}")
+
+
+class WeightedWithReplacement(SamplingStrategy):
+    """Independent weighted draws — the paper's neighbor sampling."""
+
+    name = "weighted"
+
+    def sample(
+        self,
+        tree: Samtree,
+        k: int,
+        rng: Optional[random.Random] = None,
+    ) -> List[int]:
+        self._check_k(k)
+        if not tree or k == 0:
+            return []
+        return tree.sample_many(k, rng)
+
+
+class WeightedWithoutReplacement(SamplingStrategy):
+    """Distinct weighted neighbors.
+
+    Repeatedly draws from the live tree and rejects repeats.  Rejection
+    against the *full* mass stays efficient while ``k`` is well below
+    the neighborhood size; once the draw budget is spent (``max_rounds``
+    × requested), the remaining slots fall back to a deterministic
+    heaviest-first fill so the result is always ``min(k, degree)`` IDs.
+    """
+
+    name = "weighted_distinct"
+
+    def __init__(self, max_rounds: int = 8) -> None:
+        if max_rounds < 1:
+            raise ConfigurationError(
+                f"max_rounds must be >= 1, got {max_rounds}"
+            )
+        self.max_rounds = max_rounds
+
+    def sample(
+        self,
+        tree: Samtree,
+        k: int,
+        rng: Optional[random.Random] = None,
+    ) -> List[int]:
+        self._check_k(k)
+        if not tree or k == 0:
+            return []
+        want = min(k, tree.degree)
+        if want == tree.degree:
+            return list(tree.neighbors())
+        chosen: List[int] = []
+        seen = set()
+        budget = self.max_rounds * want
+        while len(chosen) < want and budget > 0:
+            budget -= 1
+            vid = tree.sample(rng)
+            if vid not in seen:
+                seen.add(vid)
+                chosen.append(vid)
+        if len(chosen) < want:
+            # Deterministic completion: heaviest unseen neighbors.
+            rest = heapq.nlargest(
+                want - len(chosen),
+                ((w, vid) for vid, w in tree.items() if vid not in seen),
+            )
+            chosen.extend(vid for _, vid in rest)
+        return chosen
+
+
+class UniformWithReplacement(SamplingStrategy):
+    """Unweighted random sampling: each neighbor with probability 1/n_s."""
+
+    name = "uniform"
+
+    def sample(
+        self,
+        tree: Samtree,
+        k: int,
+        rng: Optional[random.Random] = None,
+    ) -> List[int]:
+        self._check_k(k)
+        if not tree or k == 0:
+            return []
+        return [tree.sample_uniform(rng) for _ in range(k)]
+
+
+class TopKByWeight(SamplingStrategy):
+    """The ``k`` heaviest neighbors, deterministically (ties by ID)."""
+
+    name = "topk"
+
+    def sample(
+        self,
+        tree: Samtree,
+        k: int,
+        rng: Optional[random.Random] = None,
+    ) -> List[int]:
+        self._check_k(k)
+        if not tree or k == 0:
+            return []
+        top = heapq.nlargest(k, ((w, -vid) for vid, w in tree.items()))
+        return [-neg_vid for _, neg_vid in top]
+
+
+_STRATEGIES = {
+    cls.name: cls
+    for cls in (
+        WeightedWithReplacement,
+        WeightedWithoutReplacement,
+        UniformWithReplacement,
+        TopKByWeight,
+    )
+}
+
+
+def make_strategy(name: str, **kwargs) -> SamplingStrategy:
+    """Instantiate a strategy by name (``weighted``, ``weighted_distinct``,
+    ``uniform``, ``topk``)."""
+    cls = _STRATEGIES.get(name)
+    if cls is None:
+        raise ConfigurationError(
+            f"unknown sampling strategy {name!r}; known: {sorted(_STRATEGIES)}"
+        )
+    return cls(**kwargs)

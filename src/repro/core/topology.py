@@ -1,0 +1,264 @@
+"""PlatoD2GL's dynamic graph storage layer (paper §IV-B, Figure 3).
+
+The store keeps one :class:`~repro.core.samtree.Samtree` per source
+vertex, indexed by a :class:`~repro.storage.cuckoo.CuckooHashMap` whose
+value is the paper's ``<|N_u|, T_u>`` tuple (degree is read off the tree,
+so the record holds the tree and the directory still accounts the degree
+field's bytes).  Heterogeneous graphs key the directory by
+``(etype, src)`` — one samtree per (relation, source) pair, the layout a
+relation-partitioned deployment uses.
+
+Vertices with no out-edges occupy no storage (paper Example 1), and a
+vertex whose last neighbor is deleted is dropped from the directory.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from typing import Iterator, List, Optional, Tuple
+
+from repro.core.memory import DEFAULT_MEMORY_MODEL, MemoryModel
+from repro.core.samtree import OpStats, Samtree, SamtreeConfig
+from repro.core.types import DEFAULT_ETYPE, GraphStoreAPI
+from repro.storage.cuckoo import CuckooHashMap
+
+__all__ = ["DynamicGraphStore"]
+
+
+class DynamicGraphStore(GraphStoreAPI):
+    """The samtree-backed dynamic topology store of PlatoD2GL.
+
+    Parameters
+    ----------
+    config:
+        Samtree parameters (capacity ``c``, slackness ``α``, CP-IDs
+        compression); shared by every per-vertex tree.
+
+    Examples
+    --------
+    >>> store = DynamicGraphStore()
+    >>> store.add_edge(1, 2, 0.1)
+    True
+    >>> store.add_edge(1, 3, 0.4)
+    True
+    >>> store.degree(1)
+    2
+    """
+
+    def __init__(self, config: Optional[SamtreeConfig] = None) -> None:
+        self.config = config or SamtreeConfig()
+        self.stats = OpStats()
+        self._directory = CuckooHashMap(initial_buckets=64)
+        self._num_edges = 0
+        # `_num_edges += d` is a non-atomic read-modify-write; PALM
+        # threads mutating disjoint trees still share this counter.
+        self._count_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # tree lookup
+    # ------------------------------------------------------------------
+    def _tree(self, src: int, etype: int) -> Optional[Samtree]:
+        return self._directory.get((etype, src))
+
+    def _tree_or_create(self, src: int, etype: int) -> Samtree:
+        return self._directory.get_or_create(
+            (etype, src), lambda: Samtree(self.config, stats=self.stats)
+        )
+
+    def tree(self, src: int, etype: int = DEFAULT_ETYPE) -> Optional[Samtree]:
+        """Expose the samtree of ``src`` (used by tests and the PALM
+        executor, which groups a batch per tree)."""
+        return self._tree(src, etype)
+
+    # ------------------------------------------------------------------
+    # dynamic updates
+    # ------------------------------------------------------------------
+    def add_edge(
+        self,
+        src: int,
+        dst: int,
+        weight: float = 1.0,
+        etype: int = DEFAULT_ETYPE,
+    ) -> bool:
+        tree = self._tree_or_create(src, etype)
+        is_new = tree.insert(dst, weight)
+        if is_new:
+            with self._count_lock:
+                self._num_edges += 1
+        return is_new
+
+    def accumulate_edge(
+        self,
+        src: int,
+        dst: int,
+        delta: float,
+        etype: int = DEFAULT_ETYPE,
+    ) -> bool:
+        """Insert or *add onto* an edge weight (interaction counting)."""
+        tree = self._tree_or_create(src, etype)
+        is_new = tree.add_weight(dst, delta)
+        if is_new:
+            with self._count_lock:
+                self._num_edges += 1
+        return is_new
+
+    def update_edge(
+        self, src: int, dst: int, weight: float, etype: int = DEFAULT_ETYPE
+    ) -> bool:
+        tree = self._tree(src, etype)
+        if tree is None or dst not in tree:
+            return False
+        tree.insert(dst, weight)
+        return True
+
+    def remove_edge(self, src: int, dst: int, etype: int = DEFAULT_ETYPE) -> bool:
+        tree = self._tree(src, etype)
+        if tree is None:
+            return False
+        removed = tree.delete(dst)
+        if removed:
+            with self._count_lock:
+                self._num_edges -= 1
+            if not tree:
+                self._directory.delete((etype, src))
+        return removed
+
+    def apply_source_batch(
+        self, src: int, etype: int, ops
+    ) -> List[bool]:
+        """Apply a batch of ``(kind, dst, weight)`` triples to one source.
+
+        Used by the PALM executor's per-tree groups: the samtree applies
+        the whole batch with one descent per op and bottom-up repair
+        rounds (:mod:`repro.core.tree_batch`), and this wrapper keeps the
+        directory and the edge counter consistent.
+        """
+        has_insert = any(kind == "insert" for kind, _, _ in ops)
+        if has_insert:
+            tree = self._tree_or_create(src, etype)
+        else:
+            tree = self._tree(src, etype)
+            if tree is None:
+                return [False] * len(ops)
+        before = tree.degree
+        outcomes = tree.apply_batch(ops)
+        with self._count_lock:
+            self._num_edges += tree.degree - before
+        if not tree:
+            self._directory.delete((etype, src))
+        return outcomes
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def degree(self, src: int, etype: int = DEFAULT_ETYPE) -> int:
+        tree = self._tree(src, etype)
+        return tree.degree if tree is not None else 0
+
+    def edge_weight(
+        self, src: int, dst: int, etype: int = DEFAULT_ETYPE
+    ) -> Optional[float]:
+        tree = self._tree(src, etype)
+        if tree is None:
+            return None
+        return tree.get_weight(dst)
+
+    def neighbors(
+        self, src: int, etype: int = DEFAULT_ETYPE
+    ) -> List[Tuple[int, float]]:
+        tree = self._tree(src, etype)
+        if tree is None:
+            return []
+        return list(tree.items())
+
+    def total_weight(self, src: int, etype: int = DEFAULT_ETYPE) -> float:
+        """Sum of all edge weights out of ``src`` (``w_s``)."""
+        tree = self._tree(src, etype)
+        return tree.total_weight if tree is not None else 0.0
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    @property
+    def num_sources(self) -> int:
+        return len(self._directory)
+
+    def sources(self, etype: int = DEFAULT_ETYPE) -> Iterator[int]:
+        for key_etype, src in self._directory.keys():
+            if key_etype == etype:
+                yield src
+
+    def etypes(self) -> List[int]:
+        """Distinct relation types present in the store."""
+        return sorted({etype for etype, _ in self._directory.keys()})
+
+    # ------------------------------------------------------------------
+    # sampling
+    # ------------------------------------------------------------------
+    def sample_neighbors(
+        self,
+        src: int,
+        k: int,
+        rng: Optional[random.Random] = None,
+        etype: int = DEFAULT_ETYPE,
+    ) -> List[int]:
+        tree = self._tree(src, etype)
+        if tree is None or not tree:
+            return []
+        return tree.sample_many(k, rng)
+
+    def sample_neighbors_uniform(
+        self,
+        src: int,
+        k: int,
+        rng: Optional[random.Random] = None,
+        etype: int = DEFAULT_ETYPE,
+    ) -> List[int]:
+        """Unweighted variant (each neighbor equally likely)."""
+        tree = self._tree(src, etype)
+        if tree is None or not tree:
+            return []
+        return [tree.sample_uniform(rng) for _ in range(k)]
+
+    def sample_vertices(
+        self,
+        k: int,
+        rng: Optional[random.Random] = None,
+        etype: int = DEFAULT_ETYPE,
+    ) -> List[int]:
+        """Node sampling (paper §III): ``k`` source vertices, degree-
+        weighted with replacement — the seed generator for training."""
+        pool: List[int] = []
+        weights: List[float] = []
+        for key_etype, src in self._directory.keys():
+            if key_etype == etype:
+                pool.append(src)
+                weights.append(float(self.degree(src, etype)))
+        if not pool:
+            return []
+        rng = rng or random
+        return rng.choices(pool, weights=weights, k=k)
+
+    # ------------------------------------------------------------------
+    # accounting & validation
+    # ------------------------------------------------------------------
+    def nbytes(self, model: MemoryModel = DEFAULT_MEMORY_MODEL) -> int:
+        total = self._directory.nbytes(model)
+        for _, tree in self._directory.items():
+            total += tree.nbytes(model)
+        return total
+
+    def check_invariants(self) -> None:
+        """Validate every samtree and the global edge counter."""
+        edges = 0
+        for _, tree in self._directory.items():
+            tree.check_invariants()
+            edges += tree.degree
+        if edges != self._num_edges:
+            from repro.errors import InvariantViolationError
+
+            raise InvariantViolationError(
+                f"edge counter {self._num_edges} != tree total {edges}"
+            )

@@ -1,0 +1,185 @@
+"""Shared types: edge records, update operations, and the store interface.
+
+Every topology store in this package — PlatoD2GL's samtree store, the
+PlatoGL block-KV baseline, and the AliGraph static baseline — implements
+:class:`GraphStoreAPI`, so benchmark drivers, the distributed layer, and
+the GNN samplers are store-agnostic.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+import random
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from repro.core.memory import DEFAULT_MEMORY_MODEL, MemoryModel
+
+__all__ = [
+    "DEFAULT_ETYPE",
+    "Edge",
+    "OpKind",
+    "EdgeOp",
+    "GraphStoreAPI",
+]
+
+#: Edge type used when the graph is homogeneous.
+DEFAULT_ETYPE = 0
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A weighted directed edge ``e(src, dst, weight)`` of type ``etype``."""
+
+    src: int
+    dst: int
+    weight: float = 1.0
+    etype: int = DEFAULT_ETYPE
+
+
+class OpKind(enum.Enum):
+    """The three dynamic-update kinds of the paper's Table II."""
+
+    INSERT = "insert"
+    UPDATE = "update"
+    DELETE = "delete"
+
+
+@dataclass(frozen=True)
+class EdgeOp:
+    """One dynamic-update operation against a topology store."""
+
+    kind: OpKind
+    src: int
+    dst: int
+    weight: float = 1.0
+    etype: int = DEFAULT_ETYPE
+
+    @classmethod
+    def insert(
+        cls, src: int, dst: int, weight: float = 1.0, etype: int = DEFAULT_ETYPE
+    ) -> "EdgeOp":
+        return cls(OpKind.INSERT, src, dst, weight, etype)
+
+    @classmethod
+    def update(
+        cls, src: int, dst: int, weight: float, etype: int = DEFAULT_ETYPE
+    ) -> "EdgeOp":
+        return cls(OpKind.UPDATE, src, dst, weight, etype)
+
+    @classmethod
+    def delete(cls, src: int, dst: int, etype: int = DEFAULT_ETYPE) -> "EdgeOp":
+        return cls(OpKind.DELETE, src, dst, 0.0, etype)
+
+
+class GraphStoreAPI(abc.ABC):
+    """Interface every topology store implements.
+
+    Sources and destinations are 64-bit vertex IDs; ``etype`` selects a
+    relation in heterogeneous graphs and defaults to ``0``.
+    """
+
+    # -- dynamic updates ------------------------------------------------
+    @abc.abstractmethod
+    def add_edge(
+        self,
+        src: int,
+        dst: int,
+        weight: float = 1.0,
+        etype: int = DEFAULT_ETYPE,
+    ) -> bool:
+        """Insert an edge (or overwrite its weight); True when new."""
+
+    @abc.abstractmethod
+    def update_edge(
+        self, src: int, dst: int, weight: float, etype: int = DEFAULT_ETYPE
+    ) -> bool:
+        """In-place weight update; False when the edge does not exist."""
+
+    @abc.abstractmethod
+    def remove_edge(
+        self, src: int, dst: int, etype: int = DEFAULT_ETYPE
+    ) -> bool:
+        """Delete an edge; False when it does not exist."""
+
+    def apply(self, op: EdgeOp) -> bool:
+        """Apply one :class:`EdgeOp` (dispatch helper)."""
+        if op.kind is OpKind.INSERT:
+            return self.add_edge(op.src, op.dst, op.weight, op.etype)
+        if op.kind is OpKind.UPDATE:
+            return self.update_edge(op.src, op.dst, op.weight, op.etype)
+        return self.remove_edge(op.src, op.dst, op.etype)
+
+    def add_edges(self, edges: Iterable[Tuple[int, int, float]]) -> int:
+        """Bulk-insert ``(src, dst, weight)`` triples; returns #new edges."""
+        added = 0
+        for src, dst, weight in edges:
+            if self.add_edge(src, dst, weight):
+                added += 1
+        return added
+
+    # -- queries ---------------------------------------------------------
+    @abc.abstractmethod
+    def degree(self, src: int, etype: int = DEFAULT_ETYPE) -> int:
+        """Out-degree of ``src`` (0 when absent)."""
+
+    @abc.abstractmethod
+    def edge_weight(
+        self, src: int, dst: int, etype: int = DEFAULT_ETYPE
+    ) -> Optional[float]:
+        """Weight of ``e(src, dst)`` or ``None``."""
+
+    @abc.abstractmethod
+    def neighbors(
+        self, src: int, etype: int = DEFAULT_ETYPE
+    ) -> List[Tuple[int, float]]:
+        """All ``(dst, weight)`` pairs of ``src`` (order unspecified)."""
+
+    def has_edge(self, src: int, dst: int, etype: int = DEFAULT_ETYPE) -> bool:
+        """Whether ``e(src, dst)`` exists."""
+        return self.edge_weight(src, dst, etype) is not None
+
+    @property
+    @abc.abstractmethod
+    def num_edges(self) -> int:
+        """Total stored edges across all relations."""
+
+    @property
+    @abc.abstractmethod
+    def num_sources(self) -> int:
+        """Number of vertices with at least one out-edge."""
+
+    @abc.abstractmethod
+    def sources(self, etype: int = DEFAULT_ETYPE) -> Iterator[int]:
+        """Iterate over source vertices of a relation."""
+
+    # -- sampling ----------------------------------------------------------
+    @abc.abstractmethod
+    def sample_neighbors(
+        self,
+        src: int,
+        k: int,
+        rng: Optional[random.Random] = None,
+        etype: int = DEFAULT_ETYPE,
+    ) -> List[int]:
+        """Draw ``k`` weighted neighbor samples (with replacement).
+
+        Returns an empty list when ``src`` has no out-edges, matching the
+        padding convention of the GNN sampler layer.
+        """
+
+    def sample_neighbors_batch(
+        self,
+        srcs: Iterable[int],
+        k: int,
+        rng: Optional[random.Random] = None,
+        etype: int = DEFAULT_ETYPE,
+    ) -> List[List[int]]:
+        """Vector form of :meth:`sample_neighbors`."""
+        return [self.sample_neighbors(s, k, rng, etype) for s in srcs]
+
+    # -- accounting -------------------------------------------------------
+    @abc.abstractmethod
+    def nbytes(self, model: MemoryModel = DEFAULT_MEMORY_MODEL) -> int:
+        """Modeled memory footprint in bytes (see ``repro.core.memory``)."""

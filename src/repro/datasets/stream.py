@@ -1,0 +1,146 @@
+"""Dynamic edge streams: the update workloads of Figures 8, 9 and 11.
+
+Two phases mirror the paper's evaluation:
+
+* **build** — replay every dataset edge as an insert batch ("inserting
+  edges of a graph in a dynamic manner", Figure 8);
+* **churn** — a steady-state mix of inserts / in-place updates /
+  deletions against the live edge set, the regime of Figure 9 and of the
+  production recommendation workload (user interest drift means weights
+  are re-written constantly, which is why in-place update cost dominates
+  Table II).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Optional, Tuple
+
+from repro.core.types import EdgeOp
+from repro.datasets.presets import GraphData
+from repro.errors import ConfigurationError
+
+__all__ = ["EdgeStream"]
+
+
+class EdgeStream:
+    """Batch generator over a dataset's edges plus synthetic churn."""
+
+    def __init__(self, data: GraphData, seed: int = 0) -> None:
+        self.data = data
+        self._rng = random.Random(seed)
+        # Live-edge tracking for valid update/delete targets.
+        self._live: List[Tuple[int, int, int]] = []
+        self._live_set: set = set()
+
+    # ------------------------------------------------------------------
+    def build_batches(self, batch_size: int) -> Iterator[List[EdgeOp]]:
+        """Insert batches covering every edge of the dataset, in order."""
+        if batch_size < 1:
+            raise ConfigurationError(
+                f"batch_size must be >= 1, got {batch_size}"
+            )
+        batch: List[EdgeOp] = []
+        for src, dst, weight, etype in self.data.edge_ops():
+            batch.append(EdgeOp.insert(src, dst, weight, etype))
+            self._track_insert(src, dst, etype)
+            if len(batch) >= batch_size:
+                yield batch
+                batch = []
+        if batch:
+            yield batch
+
+    def _track_insert(self, src: int, dst: int, etype: int) -> None:
+        key = (etype, src, dst)
+        if key not in self._live_set:
+            self._live_set.add(key)
+            self._live.append(key)
+
+    def _pop_live(self) -> Optional[Tuple[int, int, int]]:
+        rng = self._rng
+        while self._live:
+            i = rng.randrange(len(self._live))
+            key = self._live[i]
+            self._live[i] = self._live[-1]
+            self._live.pop()
+            if key in self._live_set:
+                self._live_set.discard(key)
+                return key
+        return None
+
+    def _pick_live(self) -> Optional[Tuple[int, int, int]]:
+        rng = self._rng
+        while self._live:
+            i = rng.randrange(len(self._live))
+            key = self._live[i]
+            if key in self._live_set:
+                return key
+            # Lazily compact entries removed by deletion.
+            self._live[i] = self._live[-1]
+            self._live.pop()
+        return None
+
+    # ------------------------------------------------------------------
+    def churn_batches(
+        self,
+        batch_size: int,
+        num_batches: int,
+        mix: Tuple[float, float, float] = (0.5, 0.3, 0.2),
+        id_space: Optional[int] = None,
+    ) -> Iterator[List[EdgeOp]]:
+        """Mixed dynamic-update batches.
+
+        ``mix = (insert, update, delete)`` fractions.  Inserts target
+        fresh (src, dst) pairs drawn from the dataset's vertex ranges;
+        updates and deletes target currently live edges (falling back to
+        an insert when the live set is empty).
+        """
+        if batch_size < 1 or num_batches < 0:
+            raise ConfigurationError(
+                f"invalid batch_size={batch_size} / num_batches={num_batches}"
+            )
+        p_insert, p_update, p_delete = mix
+        total = p_insert + p_update + p_delete
+        if total <= 0:
+            raise ConfigurationError(f"mix must have positive mass: {mix}")
+        p_insert, p_update = p_insert / total, p_update / total
+        rng = self._rng
+        specs = [r.spec for r in self.data.relations]
+        for _ in range(num_batches):
+            batch: List[EdgeOp] = []
+            for _ in range(batch_size):
+                r = rng.random()
+                if r < p_insert or not self._live_set:
+                    spec = specs[rng.randrange(len(specs))]
+                    from repro.datasets.synthetic import type_offset
+
+                    src = type_offset(spec.src_type) + rng.randrange(
+                        spec.num_src
+                    )
+                    dst = type_offset(spec.dst_type) + rng.randrange(
+                        id_space or spec.num_dst
+                    )
+                    weight = 0.1 + 0.9 * rng.random()
+                    batch.append(EdgeOp.insert(src, dst, weight, spec.etype))
+                    self._track_insert(src, dst, spec.etype)
+                elif r < p_insert + p_update:
+                    key = self._pick_live()
+                    if key is None:
+                        continue
+                    etype, src, dst = key
+                    batch.append(
+                        EdgeOp.update(src, dst, 0.1 + 0.9 * rng.random(), etype)
+                    )
+                else:
+                    key = self._pop_live()
+                    if key is None:
+                        continue
+                    etype, src, dst = key
+                    batch.append(EdgeOp.delete(src, dst, etype))
+            yield batch
+
+    # ------------------------------------------------------------------
+    @property
+    def num_live_edges(self) -> int:
+        """Distinct (etype, src, dst) triples currently live."""
+        return len(self._live_set)

@@ -1,0 +1,36 @@
+"""Distributed storage layer: partitioning, graph servers, routing client,
+and the in-process cluster harness.
+"""
+
+from repro.distributed.client import GraphClient
+from repro.distributed.cluster import LocalCluster, ShardInfo
+from repro.distributed.partition import (
+    HashBySourcePartitioner,
+    Partitioner,
+    splitmix64,
+)
+from repro.distributed.rebalance import (
+    Move,
+    OverridePartitioner,
+    execute_plan,
+    plan_rebalance,
+)
+from repro.distributed.rpc import NetworkModel, NetworkStats
+from repro.distributed.server import GraphServer, ServerStats
+
+__all__ = [
+    "GraphClient",
+    "LocalCluster",
+    "ShardInfo",
+    "HashBySourcePartitioner",
+    "Partitioner",
+    "splitmix64",
+    "Move",
+    "OverridePartitioner",
+    "execute_plan",
+    "plan_rebalance",
+    "NetworkModel",
+    "NetworkStats",
+    "GraphServer",
+    "ServerStats",
+]

@@ -1,0 +1,211 @@
+"""Graph client: routes requests to the owning graph servers.
+
+The client implements :class:`~repro.core.types.GraphStoreAPI`, so every
+consumer in the package — benchmark drivers, the GNN samplers, the PALM
+executor's store-facing code — can run unmodified against either a local
+store or a cluster.  Batch requests are grouped per shard (one simulated
+message per shard per batch) and merged back in input order.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.memory import DEFAULT_MEMORY_MODEL, MemoryModel
+from repro.core.types import DEFAULT_ETYPE, EdgeOp, GraphStoreAPI, OpKind
+from repro.distributed.partition import Partitioner
+from repro.distributed.rpc import NetworkModel
+from repro.distributed.server import GraphServer
+from repro.errors import PartitionError
+
+__all__ = ["GraphClient"]
+
+#: Modeled payload bytes per edge operation / sample request entry.
+_OP_BYTES = 8 + 8 + 4 + 1
+_SAMPLE_REQ_BYTES = 8
+_SAMPLE_RESP_BYTES = 8
+
+
+class GraphClient(GraphStoreAPI):
+    """Store-shaped façade over a set of :class:`GraphServer` shards."""
+
+    def __init__(
+        self,
+        servers: Sequence[GraphServer],
+        partitioner: Partitioner,
+        network: Optional[NetworkModel] = None,
+    ) -> None:
+        if len(servers) != partitioner.num_shards:
+            raise PartitionError(
+                f"{len(servers)} servers but partitioner expects "
+                f"{partitioner.num_shards} shards"
+            )
+        self.servers = list(servers)
+        self.partitioner = partitioner
+        self.network = network
+
+    # ------------------------------------------------------------------
+    # routing helpers
+    # ------------------------------------------------------------------
+    def _server_for(self, src: int) -> GraphServer:
+        return self.servers[self.partitioner.shard_for(src)]
+
+    def _account(self, payload_bytes: int) -> None:
+        if self.network is not None:
+            self.network.send(payload_bytes)
+
+    # ------------------------------------------------------------------
+    # single-edge updates (each one message)
+    # ------------------------------------------------------------------
+    def add_edge(
+        self,
+        src: int,
+        dst: int,
+        weight: float = 1.0,
+        etype: int = DEFAULT_ETYPE,
+    ) -> bool:
+        self._account(_OP_BYTES)
+        return self._server_for(src).apply_ops(
+            [EdgeOp(OpKind.INSERT, src, dst, weight, etype)]
+        )[0]
+
+    def update_edge(
+        self, src: int, dst: int, weight: float, etype: int = DEFAULT_ETYPE
+    ) -> bool:
+        self._account(_OP_BYTES)
+        return self._server_for(src).apply_ops(
+            [EdgeOp(OpKind.UPDATE, src, dst, weight, etype)]
+        )[0]
+
+    def remove_edge(
+        self, src: int, dst: int, etype: int = DEFAULT_ETYPE
+    ) -> bool:
+        self._account(_OP_BYTES)
+        return self._server_for(src).apply_ops(
+            [EdgeOp(OpKind.DELETE, src, dst, 0.0, etype)]
+        )[0]
+
+    # ------------------------------------------------------------------
+    # batched updates (one message per shard)
+    # ------------------------------------------------------------------
+    def apply_batch(self, ops: Sequence[EdgeOp]) -> List[bool]:
+        """Route a batch of operations, one message per involved shard,
+        and return per-op outcomes in submission order."""
+        per_shard: Dict[int, List[Tuple[int, EdgeOp]]] = defaultdict(list)
+        for i, op in enumerate(ops):
+            per_shard[self.partitioner.shard_for(op.src)].append((i, op))
+        outcomes: List[bool] = [False] * len(ops)
+        for shard, indexed in per_shard.items():
+            self._account(_OP_BYTES * len(indexed))
+            results = self.servers[shard].apply_ops([op for _, op in indexed])
+            for (i, _), result in zip(indexed, results):
+                outcomes[i] = result
+        return outcomes
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def degree(self, src: int, etype: int = DEFAULT_ETYPE) -> int:
+        return self._server_for(src).store.degree(src, etype)
+
+    def edge_weight(
+        self, src: int, dst: int, etype: int = DEFAULT_ETYPE
+    ) -> Optional[float]:
+        return self._server_for(src).store.edge_weight(src, dst, etype)
+
+    def neighbors(
+        self, src: int, etype: int = DEFAULT_ETYPE
+    ) -> List[Tuple[int, float]]:
+        return self._server_for(src).store.neighbors(src, etype)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(s.store.num_edges for s in self.servers)
+
+    @property
+    def num_sources(self) -> int:
+        return sum(s.store.num_sources for s in self.servers)
+
+    def sources(self, etype: int = DEFAULT_ETYPE) -> Iterator[int]:
+        for server in self.servers:
+            yield from server.store.sources(etype)
+
+    # ------------------------------------------------------------------
+    # sampling (one message per shard per batch)
+    # ------------------------------------------------------------------
+    def sample_neighbors(
+        self,
+        src: int,
+        k: int,
+        rng: Optional[random.Random] = None,
+        etype: int = DEFAULT_ETYPE,
+    ) -> List[int]:
+        self._account(_SAMPLE_REQ_BYTES + k * _SAMPLE_RESP_BYTES)
+        return self._server_for(src).sample_neighbors_batch(
+            [src], k, rng, etype
+        )[0]
+
+    def sample_neighbors_batch(
+        self,
+        srcs: Sequence[int],
+        k: int,
+        rng: Optional[random.Random] = None,
+        etype: int = DEFAULT_ETYPE,
+    ) -> List[List[int]]:
+        srcs = list(srcs)
+        per_shard: Dict[int, List[int]] = defaultdict(list)
+        for i, src in enumerate(srcs):
+            per_shard[self.partitioner.shard_for(src)].append(i)
+        out: List[List[int]] = [[] for _ in srcs]
+        for shard, positions in per_shard.items():
+            shard_srcs = [srcs[i] for i in positions]
+            self._account(
+                len(shard_srcs) * (_SAMPLE_REQ_BYTES + k * _SAMPLE_RESP_BYTES)
+            )
+            results = self.servers[shard].sample_neighbors_batch(
+                shard_srcs, k, rng, etype
+            )
+            for i, res in zip(positions, results):
+                out[i] = res
+        return out
+
+    # ------------------------------------------------------------------
+    # attributes (vertex features live on the shard that owns the vertex)
+    # ------------------------------------------------------------------
+    def register_attribute(self, name: str, dim: int) -> None:
+        """Declare an attribute field on every server."""
+        for server in self.servers:
+            server.attributes.register(name, dim)
+
+    def put_attribute(self, name: str, vertex: int, value) -> None:
+        """Write one vertex's feature vector to its owning shard."""
+        self._server_for(vertex).attributes.put(name, vertex, value)
+
+    def gather_attributes(self, name: str, vertices: Sequence[int]) -> np.ndarray:
+        """Gather feature rows across shards, merged in input order."""
+        vertices = list(vertices)
+        per_shard: Dict[int, List[int]] = defaultdict(list)
+        for i, v in enumerate(vertices):
+            per_shard[self.partitioner.shard_for(v)].append(i)
+        out: Optional[np.ndarray] = None
+        for shard, positions in per_shard.items():
+            rows = self.servers[shard].gather_attributes(
+                name, [vertices[i] for i in positions]
+            )
+            if out is None:
+                out = np.zeros((len(vertices), rows.shape[1]), dtype=rows.dtype)
+            out[positions] = rows
+        if out is None:
+            schema = self.servers[0].attributes.schema(name)
+            out = np.zeros((0, schema.dim), dtype=schema.dtype)
+        return out
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def nbytes(self, model: MemoryModel = DEFAULT_MEMORY_MODEL) -> int:
+        return sum(s.nbytes(model) for s in self.servers)

@@ -1,0 +1,101 @@
+"""LocalCluster: an in-process stand-in for the paper's 74-server rig.
+
+Builds the partitioner, the graph servers, and a routing client in one
+call; exposes per-shard statistics so benchmarks and examples can report
+shard balance the way a production deployment dashboard would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.core.memory import DEFAULT_MEMORY_MODEL, MemoryModel
+from repro.core.samtree import SamtreeConfig
+from repro.core.types import GraphStoreAPI
+from repro.distributed.client import GraphClient
+from repro.distributed.partition import HashBySourcePartitioner, Partitioner
+from repro.distributed.rpc import NetworkModel
+from repro.distributed.server import GraphServer
+from repro.errors import ConfigurationError
+
+__all__ = ["LocalCluster", "ShardInfo"]
+
+
+@dataclass(frozen=True)
+class ShardInfo:
+    """Snapshot of one shard's load."""
+
+    shard_id: int
+    num_sources: int
+    num_edges: int
+    nbytes: int
+
+
+class LocalCluster:
+    """A fully wired single-process cluster.
+
+    Parameters
+    ----------
+    num_servers:
+        Shard count (the paper's storage tier uses 54 of 74 machines).
+    config:
+        Samtree parameters for the default PlatoD2GL store; ignored when
+        ``store_factory`` is given.
+    store_factory:
+        Optional callable producing the per-shard topology store —
+        passing ``PlatoGLStore`` or ``AliGraphStore`` runs the whole
+        distributed stack over a baseline.
+    network:
+        Optional :class:`NetworkModel` accounting simulated traffic.
+    """
+
+    def __init__(
+        self,
+        num_servers: int = 4,
+        config: Optional[SamtreeConfig] = None,
+        store_factory: Optional[Callable[[], GraphStoreAPI]] = None,
+        network: Optional[NetworkModel] = None,
+        partitioner: Optional[Partitioner] = None,
+    ) -> None:
+        if num_servers < 1:
+            raise ConfigurationError(
+                f"num_servers must be >= 1, got {num_servers}"
+            )
+        self.partitioner = partitioner or HashBySourcePartitioner(num_servers)
+        if self.partitioner.num_shards != num_servers:
+            raise ConfigurationError(
+                "partitioner shard count does not match num_servers"
+            )
+        self.servers: List[GraphServer] = []
+        for shard in range(num_servers):
+            store = store_factory() if store_factory is not None else None
+            self.servers.append(GraphServer(shard, store=store, config=config))
+        self.network = network
+        self.client = GraphClient(self.servers, self.partitioner, network)
+
+    def __len__(self) -> int:
+        return len(self.servers)
+
+    def shard_infos(self, model: MemoryModel = DEFAULT_MEMORY_MODEL) -> List[ShardInfo]:
+        """Per-shard load snapshot (balance diagnostics)."""
+        return [
+            ShardInfo(
+                shard_id=s.shard_id,
+                num_sources=s.store.num_sources,
+                num_edges=s.store.num_edges,
+                nbytes=s.nbytes(model),
+            )
+            for s in self.servers
+        ]
+
+    def total_nbytes(self, model: MemoryModel = DEFAULT_MEMORY_MODEL) -> int:
+        """Cluster-wide modeled memory."""
+        return sum(s.nbytes(model) for s in self.servers)
+
+    def reset_stats(self) -> None:
+        """Clear server request counters (and network stats if present)."""
+        for s in self.servers:
+            s.stats.reset()
+        if self.network is not None:
+            self.network.stats.reset()

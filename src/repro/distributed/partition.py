@@ -1,0 +1,57 @@
+"""Graph partitioning for the distributed storage layer (paper §I, §VIII).
+
+The deployments the paper discusses spread a billion-edge graph over a
+cluster of *graph servers*.  PlatoD2GL (like PlatoGL and AliGraph's
+default) uses **hash-by-source**: every out-adjacency lives wholly on
+``hash(src) % num_shards``, so a dynamic edge update touches exactly one
+server and a neighbor-sampling request for one vertex is answered by one
+server — the property that makes dynamic graphs tractable (static
+partitioners such as METIS [19] would need a full re-partition per
+update, which is the paper's criticism of the static systems).
+
+A deterministic mixing hash (splitmix64) is used instead of Python's
+``hash`` so shard placement is reproducible across runs and processes.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+from repro.errors import PartitionError
+
+__all__ = ["Partitioner", "HashBySourcePartitioner", "splitmix64"]
+
+_MASK64 = (1 << 64) - 1
+
+
+def splitmix64(x: int) -> int:
+    """SplitMix64 finaliser: a fast, well-mixed 64-bit integer hash."""
+    x = (x + 0x9E3779B97F4A7C15) & _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return x ^ (x >> 31)
+
+
+class Partitioner(abc.ABC):
+    """Maps a source vertex to the shard that owns its out-adjacency."""
+
+    def __init__(self, num_shards: int) -> None:
+        if num_shards < 1:
+            raise PartitionError(f"num_shards must be >= 1, got {num_shards}")
+        self.num_shards = num_shards
+
+    @abc.abstractmethod
+    def shard_for(self, src: int) -> int:
+        """Shard index in ``[0, num_shards)`` owning ``src``."""
+
+    def shards_for(self, srcs: Sequence[int]) -> list:
+        """Vector form of :meth:`shard_for`."""
+        return [self.shard_for(s) for s in srcs]
+
+
+class HashBySourcePartitioner(Partitioner):
+    """Hash-by-source placement (the dynamic-graph-friendly default)."""
+
+    def shard_for(self, src: int) -> int:
+        return splitmix64(int(src)) % self.num_shards

@@ -1,0 +1,167 @@
+"""Shard rebalancing: moving hot sources between graph servers.
+
+Hash-by-source placement balances *counts* but not *load*: power-law
+graphs put multi-million-edge hub vertices on arbitrary shards, and one
+hub can dominate a server's memory and sampling traffic.  Production
+deployments therefore run a rebalancer: measure per-shard load, pick
+source vertices to migrate, move their adjacencies, and record the
+overrides in a routing table consulted before the hash.
+
+This module implements that loop for the in-process cluster:
+
+* :func:`plan_rebalance` — a greedy planner that relocates the heaviest
+  sources from overloaded shards to underloaded ones until every shard
+  is within ``tolerance`` of the mean (or no single move helps);
+* :func:`execute_plan` — migrates each planned source's adjacency
+  between servers and installs the override;
+* :class:`OverridePartitioner` — a partitioner wrapper the client uses,
+  so reads/writes/samples route to the new owner transparently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.types import DEFAULT_ETYPE
+from repro.distributed.cluster import LocalCluster
+from repro.distributed.partition import Partitioner
+from repro.errors import ConfigurationError, PartitionError
+
+__all__ = ["Move", "OverridePartitioner", "plan_rebalance", "execute_plan"]
+
+
+@dataclass(frozen=True)
+class Move:
+    """One planned source migration."""
+
+    src: int
+    from_shard: int
+    to_shard: int
+    load: int  # edges moved
+
+
+class OverridePartitioner(Partitioner):
+    """A partitioner with an explicit per-source override table."""
+
+    def __init__(self, base: Partitioner) -> None:
+        super().__init__(base.num_shards)
+        self.base = base
+        self.overrides: Dict[int, int] = {}
+
+    def shard_for(self, src: int) -> int:
+        override = self.overrides.get(int(src))
+        if override is not None:
+            return override
+        return self.base.shard_for(src)
+
+    def add_override(self, src: int, shard: int) -> None:
+        if not 0 <= shard < self.num_shards:
+            raise PartitionError(
+                f"shard {shard} out of range [0, {self.num_shards})"
+            )
+        self.overrides[int(src)] = shard
+
+
+def _shard_loads(cluster: LocalCluster) -> List[int]:
+    return [server.store.num_edges for server in cluster.servers]
+
+
+def _source_loads(cluster: LocalCluster, shard: int) -> List[Tuple[int, int, int]]:
+    """(load, etype, src) triples on one shard, heaviest first."""
+    server = cluster.servers[shard]
+    out = []
+    etypes = getattr(server.store, "etypes", lambda: [DEFAULT_ETYPE])()
+    for etype in etypes:
+        for src in server.store.sources(etype):
+            out.append((server.store.degree(src, etype), etype, src))
+    out.sort(reverse=True)
+    return out
+
+
+def plan_rebalance(
+    cluster: LocalCluster,
+    tolerance: float = 0.1,
+    max_moves: int = 64,
+) -> List[Move]:
+    """Greedy plan bringing every shard within ``tolerance`` of the mean.
+
+    Repeatedly takes the heaviest source on the most loaded shard and
+    assigns it to the least loaded shard, while the move reduces the
+    spread; sources whose load exceeds the imbalance are skipped in
+    favour of smaller ones.
+    """
+    if not 0.0 < tolerance < 1.0:
+        raise ConfigurationError(
+            f"tolerance must be in (0, 1), got {tolerance}"
+        )
+    if max_moves < 0:
+        raise ConfigurationError(f"max_moves must be >= 0, got {max_moves}")
+    loads = _shard_loads(cluster)
+    total = sum(loads)
+    if total == 0:
+        return []
+    mean = total / len(loads)
+    band = tolerance * mean
+    # Per-shard candidate lists, fetched lazily.
+    candidates: Dict[int, List[Tuple[int, int, int]]] = {}
+    moves: List[Move] = []
+    moved: set = set()
+    while len(moves) < max_moves:
+        hot = max(range(len(loads)), key=lambda i: loads[i])
+        cold = min(range(len(loads)), key=lambda i: loads[i])
+        gap = loads[hot] - loads[cold]
+        if loads[hot] <= mean + band and loads[cold] >= mean - band:
+            break
+        if hot not in candidates:
+            candidates[hot] = _source_loads(cluster, hot)
+        # Largest source that still shrinks the gap (moving more than the
+        # gap would just swap the roles of the two shards).
+        pick = None
+        for load, etype, src in candidates[hot]:
+            if (etype, src) in moved:
+                continue
+            if 0 < load < gap:
+                pick = (load, etype, src)
+                break
+        if pick is None:
+            break
+        load, etype, src = pick
+        moved.add((etype, src))
+        moves.append(Move(src=src, from_shard=hot, to_shard=cold, load=load))
+        loads[hot] -= load
+        loads[cold] += load
+    return moves
+
+
+def execute_plan(
+    cluster: LocalCluster,
+    moves: List[Move],
+    partitioner: Optional[OverridePartitioner] = None,
+) -> OverridePartitioner:
+    """Migrate each planned source and install the routing overrides.
+
+    Returns the :class:`OverridePartitioner` (created around the
+    cluster's partitioner when not supplied) and swaps it into the
+    cluster's client so subsequent traffic routes to the new owners.
+    """
+    if partitioner is None:
+        if isinstance(cluster.partitioner, OverridePartitioner):
+            partitioner = cluster.partitioner
+        else:
+            partitioner = OverridePartitioner(cluster.partitioner)
+    for move in moves:
+        source_server = cluster.servers[move.from_shard]
+        target_server = cluster.servers[move.to_shard]
+        etypes = getattr(
+            source_server.store, "etypes", lambda: [DEFAULT_ETYPE]
+        )()
+        for etype in list(etypes):
+            adjacency = source_server.store.neighbors(move.src, etype)
+            for dst, weight in adjacency:
+                target_server.store.add_edge(move.src, dst, weight, etype)
+                source_server.store.remove_edge(move.src, dst, etype)
+        partitioner.add_override(move.src, move.to_shard)
+    cluster.partitioner = partitioner
+    cluster.client.partitioner = partitioner
+    return partitioner

@@ -1,0 +1,110 @@
+"""Graph server: one shard of the distributed storage layer (paper Fig. 1).
+
+A server owns the samtrees of every source vertex hashed to it, plus an
+attribute store for the features of vertices it hosts.  Its interface is
+batch-first — the client ships one message per (server, request kind)
+per batch — and it counts requests so benchmarks can report routing
+fan-out.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.memory import DEFAULT_MEMORY_MODEL, MemoryModel
+from repro.core.samtree import SamtreeConfig
+from repro.core.topology import DynamicGraphStore
+from repro.core.types import DEFAULT_ETYPE, EdgeOp, GraphStoreAPI
+from repro.storage.attributes import AttributeStore
+
+__all__ = ["GraphServer", "ServerStats"]
+
+
+@dataclass
+class ServerStats:
+    """Per-server request counters."""
+
+    update_requests: int = 0
+    sample_requests: int = 0
+    attribute_requests: int = 0
+    ops_applied: int = 0
+
+    def reset(self) -> None:
+        self.update_requests = 0
+        self.sample_requests = 0
+        self.attribute_requests = 0
+        self.ops_applied = 0
+
+
+class GraphServer:
+    """One storage shard: a topology store + an attribute store."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        store: Optional[GraphStoreAPI] = None,
+        config: Optional[SamtreeConfig] = None,
+    ) -> None:
+        self.shard_id = shard_id
+        self.store: GraphStoreAPI = (
+            store if store is not None else DynamicGraphStore(config)
+        )
+        self.attributes = AttributeStore()
+        self.stats = ServerStats()
+
+    # ------------------------------------------------------------------
+    # update path
+    # ------------------------------------------------------------------
+    def apply_ops(self, ops: Sequence[EdgeOp]) -> List[bool]:
+        """Apply a batch of edge operations owned by this shard."""
+        self.stats.update_requests += 1
+        self.stats.ops_applied += len(ops)
+        return [self.store.apply(op) for op in ops]
+
+    # ------------------------------------------------------------------
+    # sampling path
+    # ------------------------------------------------------------------
+    def sample_neighbors_batch(
+        self,
+        srcs: Sequence[int],
+        k: int,
+        rng: Optional[random.Random] = None,
+        etype: int = DEFAULT_ETYPE,
+    ) -> List[List[int]]:
+        """Weighted neighbor samples for sources owned by this shard."""
+        self.stats.sample_requests += 1
+        return [self.store.sample_neighbors(s, k, rng, etype) for s in srcs]
+
+    def neighbors_batch(
+        self, srcs: Sequence[int], etype: int = DEFAULT_ETYPE
+    ) -> List[List[Tuple[int, float]]]:
+        """Full adjacency fetch (used by full-neighborhood aggregation)."""
+        self.stats.sample_requests += 1
+        return [self.store.neighbors(s, etype) for s in srcs]
+
+    def degrees(
+        self, srcs: Sequence[int], etype: int = DEFAULT_ETYPE
+    ) -> List[int]:
+        """Out-degrees of the given sources."""
+        return [self.store.degree(s, etype) for s in srcs]
+
+    # ------------------------------------------------------------------
+    # attribute path
+    # ------------------------------------------------------------------
+    def gather_attributes(
+        self, name: str, vertices: Sequence[int]
+    ) -> np.ndarray:
+        """Feature rows for vertices hosted on this shard."""
+        self.stats.attribute_requests += 1
+        return self.attributes.gather(name, vertices)
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def nbytes(self, model: MemoryModel = DEFAULT_MEMORY_MODEL) -> int:
+        """Modeled bytes of this shard (topology + attributes)."""
+        return self.store.nbytes(model) + self.attributes.nbytes()

@@ -1,0 +1,63 @@
+"""Exception hierarchy for the PlatoD2GL reproduction.
+
+All library errors derive from :class:`ReproError` so that callers can
+catch everything raised by this package with a single ``except`` clause
+while still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class EmptyStructureError(ReproError, IndexError):
+    """An operation that needs at least one element hit an empty structure.
+
+    Raised, for example, when sampling from an empty FSTable or samtree.
+    """
+
+
+class IndexOutOfRangeError(ReproError, IndexError):
+    """An index argument fell outside the valid range of a structure."""
+
+
+class InvalidWeightError(ReproError, ValueError):
+    """An edge weight was rejected (negative, NaN, or infinite)."""
+
+
+class VertexNotFoundError(ReproError, KeyError):
+    """A vertex (or edge endpoint) is not present in the store."""
+
+
+class EdgeNotFoundError(ReproError, KeyError):
+    """A requested edge does not exist in the store."""
+
+
+class StoreOutOfMemoryError(ReproError, MemoryError):
+    """The modeled memory footprint exceeded the configured budget.
+
+    Used by benchmark drivers to reproduce the paper's "o.o.m" entries
+    (e.g. AliGraph on the WeChat dataset in Table IV / Figure 8).
+    """
+
+
+class InvariantViolationError(ReproError, AssertionError):
+    """A structural invariant check failed (used by ``check_invariants``)."""
+
+
+class HashMapFullError(ReproError, RuntimeError):
+    """The cuckoo hashmap could not place a key even after resizing."""
+
+
+class PartitionError(ReproError, ValueError):
+    """A graph partitioner received an invalid configuration or key."""
+
+
+class ShapeError(ReproError, ValueError):
+    """A GNN tensor operation received arrays of incompatible shapes."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A component was constructed with invalid parameters."""

@@ -1,0 +1,91 @@
+"""GNN operator layer: sampling operators, NumPy message passing, models,
+and the mini-batch trainer.
+"""
+
+from repro.gnn.embeddings import EmbeddingTable, SkipGramTrainer
+from repro.gnn.evaluation import (
+    evaluate_link_ranking,
+    hit_rate_at_k,
+    mean_reciprocal_rank,
+    ndcg_at_k,
+    recall_at_k,
+)
+from repro.gnn.inference import embed_vertices, topk_similar
+from repro.gnn.layers import DenseLayer, GATLayer, GCNLayer, SAGEMeanLayer
+from repro.gnn.link_prediction import (
+    LinkPredictionTrainer,
+    binary_cross_entropy_scores,
+    bpr_loss,
+    sample_negative_destinations,
+    sample_positive_edges,
+)
+from repro.gnn.models import GAT, GCN, GraphSAGE, SampledGNN
+from repro.gnn.ops import (
+    accuracy,
+    l2_normalize,
+    log_softmax,
+    mean_aggregate,
+    relu,
+    softmax_cross_entropy,
+    xavier_init,
+)
+from repro.gnn.samplers import (
+    MiniBatchBlocks,
+    sample_blocks,
+    sample_metapath,
+    sample_neighbor_matrix,
+    sample_seed_nodes,
+    sample_subgraph,
+)
+from repro.gnn.training import Adam, Trainer, TrainResult
+from repro.gnn.walks import (
+    metapath_walks,
+    node2vec_walks,
+    random_walks,
+    walk_cooccurrence,
+)
+
+__all__ = [
+    "EmbeddingTable",
+    "SkipGramTrainer",
+    "evaluate_link_ranking",
+    "hit_rate_at_k",
+    "mean_reciprocal_rank",
+    "ndcg_at_k",
+    "recall_at_k",
+    "embed_vertices",
+    "topk_similar",
+    "DenseLayer",
+    "GATLayer",
+    "GCNLayer",
+    "SAGEMeanLayer",
+    "LinkPredictionTrainer",
+    "binary_cross_entropy_scores",
+    "bpr_loss",
+    "sample_negative_destinations",
+    "sample_positive_edges",
+    "GAT",
+    "GCN",
+    "GraphSAGE",
+    "SampledGNN",
+    "metapath_walks",
+    "node2vec_walks",
+    "random_walks",
+    "walk_cooccurrence",
+    "accuracy",
+    "l2_normalize",
+    "log_softmax",
+    "mean_aggregate",
+    "relu",
+    "softmax_cross_entropy",
+    "xavier_init",
+    "MiniBatchBlocks",
+    "sample_blocks",
+    "sample_metapath",
+    "sample_neighbor_matrix",
+    "sample_seed_nodes",
+    "sample_subgraph",
+    "Adam",
+    "Trainer",
+    "TrainResult",
+]

@@ -1,0 +1,216 @@
+"""Unsupervised walk embeddings: skip-gram with negative sampling (SGNS).
+
+The classic embedding pipeline the paper's sampling machinery exists to
+feed (DeepWalk / node2vec / metapath2vec): walks are drawn through the
+store's weighted sampling, co-occurrence pairs become skip-gram training
+examples, and vertices get center/context vector tables trained with
+negative sampling.  Pure NumPy, mini-batched, with hand-written SGNS
+gradients.
+
+Because the walks always sample the *live* store, re-running
+:meth:`SkipGramTrainer.train_from_store` after graph updates adapts the
+embeddings to the new topology — the dynamic-training loop in its
+simplest form.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.types import DEFAULT_ETYPE, GraphStoreAPI
+from repro.errors import ConfigurationError, VertexNotFoundError
+from repro.gnn.walks import random_walks, walk_cooccurrence
+
+__all__ = ["EmbeddingTable", "SkipGramTrainer"]
+
+
+class EmbeddingTable:
+    """A growable vertex → vector table (float32 rows)."""
+
+    def __init__(self, dim: int, rng: np.random.Generator) -> None:
+        if dim < 1:
+            raise ConfigurationError(f"dim must be >= 1, got {dim}")
+        self.dim = dim
+        self._rng = rng
+        self._index: Dict[int, int] = {}
+        self._vectors = np.zeros((0, dim), dtype=np.float32)
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __contains__(self, vertex: int) -> bool:
+        return int(vertex) in self._index
+
+    def index_of(self, vertex: int, create: bool = False) -> int:
+        """Row index of a vertex (optionally allocating a new row)."""
+        vertex = int(vertex)
+        idx = self._index.get(vertex)
+        if idx is not None:
+            return idx
+        if not create:
+            raise VertexNotFoundError(f"vertex {vertex} has no embedding")
+        idx = len(self._index)
+        self._index[vertex] = idx
+        if idx >= self._vectors.shape[0]:
+            grow = max(64, self._vectors.shape[0])
+            extra = (
+                self._rng.uniform(-0.5, 0.5, size=(grow, self.dim)) / self.dim
+            ).astype(np.float32)
+            self._vectors = np.concatenate([self._vectors, extra], axis=0)
+        return idx
+
+    def indices_of(self, vertices: Sequence[int], create: bool = False) -> np.ndarray:
+        return np.asarray(
+            [self.index_of(v, create) for v in vertices], dtype=np.int64
+        )
+
+    def vector(self, vertex: int) -> np.ndarray:
+        """The embedding row of one vertex."""
+        return self._vectors[self.index_of(vertex)]
+
+    @property
+    def rows(self) -> np.ndarray:
+        """The live rows (allocation order)."""
+        return self._vectors[: len(self._index)]
+
+    def vertices(self) -> List[int]:
+        """Vertices in row order."""
+        return sorted(self._index, key=self._index.get)
+
+
+class SkipGramTrainer:
+    """SGNS over walk co-occurrence pairs from a topology store."""
+
+    def __init__(
+        self,
+        dim: int = 32,
+        num_negatives: int = 5,
+        lr: float = 0.025,
+        seed: int = 0,
+    ) -> None:
+        if num_negatives < 1:
+            raise ConfigurationError(
+                f"num_negatives must be >= 1, got {num_negatives}"
+            )
+        if lr <= 0:
+            raise ConfigurationError(f"lr must be > 0, got {lr}")
+        nprng = np.random.default_rng(seed)
+        self.centers = EmbeddingTable(dim, nprng)
+        self.contexts = EmbeddingTable(dim, nprng)
+        self.num_negatives = num_negatives
+        self.lr = lr
+        self._nprng = nprng
+        self._rng = random.Random(seed)
+
+    # ------------------------------------------------------------------
+    def train_pairs(
+        self,
+        pairs: Sequence[Tuple[int, int]],
+        counts: Optional[Sequence[int]] = None,
+        epochs: int = 1,
+    ) -> float:
+        """SGNS over (center, context) pairs; returns the final mean loss.
+
+        Negatives are drawn uniformly from the context vocabulary.
+        """
+        if not pairs:
+            return 0.0
+        centers = [p[0] for p in pairs]
+        contexts = [p[1] for p in pairs]
+        weights = np.asarray(
+            counts if counts is not None else [1] * len(pairs), dtype=np.float64
+        )
+        # A pair's count scales its gradient step; cap it so frequent
+        # pairs cannot blow the effective learning rate past stability
+        # (one capped step per epoch ≈ several unit steps, like word2vec's
+        # subsampling of frequent pairs).
+        weights = np.minimum(weights, 4.0)
+        c_idx = self.centers.indices_of(centers, create=True)
+        o_idx = self.contexts.indices_of(contexts, create=True)
+        vocab = np.asarray(
+            self.contexts.indices_of(self.contexts.vertices()), dtype=np.int64
+        )
+        loss = 0.0
+        for _ in range(max(1, epochs)):
+            loss = self._epoch(c_idx, o_idx, weights, vocab)
+        return loss
+
+    def _epoch(self, c_idx, o_idx, weights, vocab) -> float:
+        C = self.centers._vectors
+        O = self.contexts._vectors
+        k = self.num_negatives
+        order = self._nprng.permutation(len(c_idx))
+        total_loss = 0.0
+        for i in order:
+            ci, oi, w = c_idx[i], o_idx[i], weights[i]
+            vc = C[ci]
+            # positive
+            vo = O[oi]
+            z = float(vc @ vo)
+            sig = 1.0 / (1.0 + np.exp(-np.clip(z, -30, 30)))
+            total_loss += -np.log(max(sig, 1e-12)) * w
+            g = (sig - 1.0) * self.lr * w
+            grad_c = g * vo
+            O[oi] = vo - g * vc
+            # negatives
+            negs = vocab[self._nprng.integers(0, len(vocab), size=k)]
+            for ni in negs:
+                if ni == oi:
+                    continue
+                vn = O[ni]
+                zn = float(vc @ vn)
+                sign = 1.0 / (1.0 + np.exp(-np.clip(zn, -30, 30)))
+                total_loss += -np.log(max(1.0 - sign, 1e-12)) * w
+                gn = sign * self.lr * w
+                grad_c += gn * vn
+                O[ni] = vn - gn * vc
+            C[ci] = vc - grad_c
+        return float(total_loss / max(1.0, weights.sum()))
+
+    # ------------------------------------------------------------------
+    def train_from_store(
+        self,
+        store: GraphStoreAPI,
+        seeds: Sequence[int],
+        walk_length: int = 10,
+        window: int = 3,
+        epochs: int = 2,
+        etype: int = DEFAULT_ETYPE,
+    ) -> float:
+        """Walk → co-occurrence → SGNS against the live store."""
+        walks = random_walks(store, seeds, walk_length, self._rng, etype)
+        pairs = walk_cooccurrence(walks, window)
+        if not pairs:
+            return 0.0
+        keys = list(pairs)
+        return self.train_pairs(keys, [pairs[k] for k in keys], epochs)
+
+    # ------------------------------------------------------------------
+    def similarity(self, a: int, b: int) -> float:
+        """Cosine similarity of two vertices' center embeddings."""
+        va, vb = self.centers.vector(a), self.centers.vector(b)
+        denom = float(np.linalg.norm(va) * np.linalg.norm(vb))
+        if denom == 0.0:
+            return 0.0
+        return float(va @ vb) / denom
+
+    def most_similar(self, vertex: int, k: int = 5) -> List[Tuple[int, float]]:
+        """Top-``k`` vertices by cosine similarity to ``vertex``."""
+        query = self.centers.vector(vertex)
+        rows = self.centers.rows
+        norms = np.linalg.norm(rows, axis=1) * max(
+            1e-12, float(np.linalg.norm(query))
+        )
+        scores = (rows @ query) / np.maximum(norms, 1e-12)
+        vertices = self.centers.vertices()
+        me = self.centers.index_of(vertex)
+        scores[me] = -np.inf
+        k = min(k, len(vertices) - 1)
+        if k <= 0:
+            return []
+        top = np.argpartition(-scores, k - 1)[:k]
+        top = top[np.argsort(-scores[top])]
+        return [(vertices[i], float(scores[i])) for i in top]

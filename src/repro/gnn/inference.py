@@ -1,0 +1,102 @@
+"""Inference: embedding generation over the live store.
+
+Production recommendation serves from embeddings refreshed against the
+*current* graph (paper §II-A: the model works on ``G^(t)`` during both
+training and inference).  This module batches that path:
+
+* :func:`embed_vertices` — sampled-neighborhood embeddings for any
+  vertex list, mini-batched so a full-catalog refresh streams through
+  bounded memory;
+* :func:`topk_similar` — cosine top-k lookup over an embedding matrix,
+  the retrieval primitive of an embedding-based recommender.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.types import DEFAULT_ETYPE, GraphStoreAPI
+from repro.errors import ConfigurationError, ShapeError
+from repro.gnn.models import SampledGNN
+from repro.gnn.ops import l2_normalize
+from repro.gnn.samplers import sample_blocks
+from repro.storage.attributes import AttributeStore
+
+__all__ = ["embed_vertices", "topk_similar"]
+
+
+def embed_vertices(
+    store: GraphStoreAPI,
+    features: AttributeStore,
+    encoder: SampledGNN,
+    vertices: Sequence[int],
+    fanouts: Sequence[int],
+    feat_name: str = "feat",
+    batch_size: int = 512,
+    normalize: bool = True,
+    rng: Optional[random.Random] = None,
+    etype: int = DEFAULT_ETYPE,
+) -> np.ndarray:
+    """Embeddings for ``vertices`` from their sampled neighborhoods.
+
+    Returns a ``(len(vertices), out_dim)`` float32 matrix in input
+    order.  ``normalize`` L2-normalises rows (GraphSAGE's convention),
+    making dot products cosine similarities.
+    """
+    if len(fanouts) != encoder.num_layers:
+        raise ConfigurationError(
+            f"fanouts length {len(fanouts)} != encoder depth "
+            f"{encoder.num_layers}"
+        )
+    if batch_size < 1:
+        raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
+    vertices = [int(v) for v in vertices]
+    chunks: List[np.ndarray] = []
+    for start in range(0, len(vertices), batch_size):
+        chunk = vertices[start : start + batch_size]
+        blocks = sample_blocks(store, chunk, fanouts, rng, etype)
+        feats = [
+            features.gather(feat_name, level.tolist())
+            for level in blocks.levels
+        ]
+        out = encoder.forward(feats, blocks.fanouts)
+        # Inference passes leave no gradient work behind.
+        for layer in encoder.layers:
+            layer._cache.clear()
+        chunks.append(out)
+    if not chunks:
+        dim = encoder.layers[-1].out_dim
+        return np.zeros((0, dim), dtype=np.float32)
+    matrix = np.concatenate(chunks, axis=0).astype(np.float32)
+    return l2_normalize(matrix) if normalize else matrix
+
+
+def topk_similar(
+    embeddings: np.ndarray,
+    query: np.ndarray,
+    k: int,
+    exclude: Optional[int] = None,
+) -> List[Tuple[int, float]]:
+    """Top-``k`` rows of ``embeddings`` by dot product with ``query``.
+
+    Returns ``(row_index, score)`` pairs, best first.  ``exclude`` drops
+    one row (conventionally the query item itself).
+    """
+    if embeddings.ndim != 2 or query.shape != (embeddings.shape[1],):
+        raise ShapeError(
+            f"embeddings {embeddings.shape} incompatible with query "
+            f"{query.shape}"
+        )
+    if k < 1:
+        raise ConfigurationError(f"k must be >= 1, got {k}")
+    scores = embeddings @ query
+    if exclude is not None and 0 <= exclude < len(scores):
+        scores = scores.copy()
+        scores[exclude] = -np.inf
+    k = min(k, len(scores))
+    top = np.argpartition(-scores, k - 1)[:k]
+    top = top[np.argsort(-scores[top])]
+    return [(int(i), float(scores[i])) for i in top]

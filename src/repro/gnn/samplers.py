@@ -1,0 +1,179 @@
+"""The operator layer's three sampling methods (paper §III):
+
+* **node sampling** — draw seed vertices from the whole graph;
+* **neighbor sampling** — draw a fixed fan-out of weighted neighbors for
+  each vertex of a batch (the per-layer GNN operation, Figures 10a-c);
+* **subgraph sampling** — draw a multi-hop subgraph pivoted at each seed
+  (Figures 10d-f), including the meta-path variant used on heterogeneous
+  graphs.
+
+Samplers accept anything that satisfies :class:`GraphStoreAPI` — a local
+store, a baseline, or the distributed client — and return dense NumPy
+index tensors ready for the model layers.  A vertex with no out-edges is
+padded with itself (a self-loop), the standard mini-batch convention, so
+downstream tensors stay rectangular.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.types import DEFAULT_ETYPE, GraphStoreAPI
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "MiniBatchBlocks",
+    "sample_seed_nodes",
+    "sample_neighbor_matrix",
+    "sample_blocks",
+    "sample_subgraph",
+    "sample_metapath",
+]
+
+
+@dataclass(frozen=True)
+class MiniBatchBlocks:
+    """A sampled multi-hop mini-batch.
+
+    ``levels[0]`` are the seeds (shape ``(B,)``); ``levels[d + 1]`` holds
+    the flattened fan-out of ``levels[d]`` (shape
+    ``(B * fanouts[0] * ... * fanouts[d],)``).
+    """
+
+    levels: List[np.ndarray]
+    fanouts: List[int]
+
+    @property
+    def batch_size(self) -> int:
+        return int(self.levels[0].shape[0])
+
+    @property
+    def num_hops(self) -> int:
+        return len(self.fanouts)
+
+    def num_sampled(self) -> int:
+        """Total vertices materialised across all levels."""
+        return int(sum(level.shape[0] for level in self.levels))
+
+
+def sample_seed_nodes(
+    store: GraphStoreAPI,
+    k: int,
+    rng: Optional[random.Random] = None,
+    etype: int = DEFAULT_ETYPE,
+) -> np.ndarray:
+    """Node sampling: ``k`` seeds drawn from the graph's source vertices.
+
+    Uses the store's degree-weighted vertex sampler when it offers one
+    (PlatoD2GL's store does); otherwise falls back to uniform choice over
+    the sources.
+    """
+    sampler = getattr(store, "sample_vertices", None)
+    if sampler is not None:
+        seeds = sampler(k, rng, etype)
+    else:
+        pool = list(store.sources(etype))
+        if not pool:
+            seeds = []
+        else:
+            rng = rng or random
+            seeds = [pool[rng.randrange(len(pool))] for _ in range(k)]
+    return np.asarray(seeds, dtype=np.int64)
+
+
+def sample_neighbor_matrix(
+    store: GraphStoreAPI,
+    srcs: Sequence[int],
+    fanout: int,
+    rng: Optional[random.Random] = None,
+    etype: int = DEFAULT_ETYPE,
+) -> np.ndarray:
+    """Neighbor sampling: a dense ``(len(srcs), fanout)`` index matrix.
+
+    Each row holds ``fanout`` weighted draws (with replacement) from the
+    corresponding source's out-neighbors; sources without out-edges are
+    padded with themselves.
+    """
+    if fanout < 1:
+        raise ConfigurationError(f"fanout must be >= 1, got {fanout}")
+    rows = store.sample_neighbors_batch(srcs, fanout, rng, etype)
+    out = np.empty((len(rows), fanout), dtype=np.int64)
+    for i, (src, row) in enumerate(zip(srcs, rows)):
+        out[i] = row if row else [int(src)] * fanout
+    return out
+
+
+def sample_blocks(
+    store: GraphStoreAPI,
+    seeds: Sequence[int],
+    fanouts: Sequence[int],
+    rng: Optional[random.Random] = None,
+    etype: int = DEFAULT_ETYPE,
+) -> MiniBatchBlocks:
+    """Multi-hop expansion for mini-batch training (K-hop sampling).
+
+    Level ``d + 1`` is the flattened neighbor matrix of level ``d``; the
+    result feeds :meth:`repro.gnn.models.GraphSAGE.forward` directly.
+    """
+    levels = [np.asarray(list(seeds), dtype=np.int64)]
+    for fanout in fanouts:
+        matrix = sample_neighbor_matrix(
+            store, levels[-1].tolist(), fanout, rng, etype
+        )
+        levels.append(matrix.reshape(-1))
+    return MiniBatchBlocks(levels=levels, fanouts=list(fanouts))
+
+
+def sample_subgraph(
+    store: GraphStoreAPI,
+    seed: int,
+    fanouts: Sequence[int],
+    rng: Optional[random.Random] = None,
+    etype: int = DEFAULT_ETYPE,
+) -> Tuple[Set[int], List[Tuple[int, int]]]:
+    """Subgraph sampling pivoted at one seed (paper §III).
+
+    Expands ``fanouts`` hops, deduplicating vertices per frontier, and
+    returns ``(vertex_set, edge_list)`` of the traversed subgraph.
+    """
+    nodes: Set[int] = {int(seed)}
+    edges: List[Tuple[int, int]] = []
+    frontier = [int(seed)]
+    for fanout in fanouts:
+        next_frontier: Set[int] = set()
+        for src in frontier:
+            for dst in store.sample_neighbors(src, fanout, rng, etype):
+                edges.append((src, dst))
+                if dst not in nodes:
+                    nodes.add(dst)
+                    next_frontier.add(dst)
+        frontier = list(next_frontier)
+        if not frontier:
+            break
+    return nodes, edges
+
+
+def sample_metapath(
+    store: GraphStoreAPI,
+    seeds: Sequence[int],
+    path: Sequence[Tuple[int, int]],
+    rng: Optional[random.Random] = None,
+) -> List[np.ndarray]:
+    """Meta-path sampling over a heterogeneous graph (paper §VII-C).
+
+    ``path`` is a sequence of ``(etype, fanout)`` hops — e.g. the WeChat
+    recommendation pattern User→Live→Live walks ``[(USER_LIVE, f1),
+    (LIVE_LIVE, f2)]``.  Returns the flattened frontier per hop, seeds
+    first.
+    """
+    levels = [np.asarray(list(seeds), dtype=np.int64)]
+    for etype, fanout in path:
+        matrix = sample_neighbor_matrix(
+            store, levels[-1].tolist(), fanout, rng, etype
+        )
+        levels.append(matrix.reshape(-1))
+    return levels

@@ -1,0 +1,192 @@
+"""Weighted random walks over the dynamic store.
+
+The paper's sampling machinery descends from the random-walk engines of
+graph-embedding systems (its ITS method is KnightKing's [34]); walk-based
+objectives — DeepWalk/node2vec-style skip-gram pairs, PinSage-style
+importance pooling — are standard companions to GNN training in
+production recommenders.  This module runs them directly against any
+:class:`GraphStoreAPI`, so every step is one weighted neighbor draw
+through the store's ITS/FTS path and always reflects the current graph.
+
+* :func:`random_walks` — plain weighted walks (restart-capable);
+* :func:`node2vec_walks` — 2nd-order walks with return/in-out bias
+  (p, q) via rejection sampling (KnightKing's technique: propose from
+  the static weighted distribution, accept against the dynamic bias);
+* :func:`metapath_walks` — typed walks over a heterogeneous schema;
+* :func:`walk_cooccurrence` — skip-gram (center, context) pair counts,
+  the training signal for unsupervised embeddings.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.types import DEFAULT_ETYPE, GraphStoreAPI
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "random_walks",
+    "node2vec_walks",
+    "metapath_walks",
+    "walk_cooccurrence",
+]
+
+
+def random_walks(
+    store: GraphStoreAPI,
+    seeds: Sequence[int],
+    length: int,
+    rng: Optional[random.Random] = None,
+    etype: int = DEFAULT_ETYPE,
+    restart_prob: float = 0.0,
+) -> List[List[int]]:
+    """One weighted walk of ``length`` steps per seed.
+
+    A walk stops early at a sink (vertex without out-edges).  With
+    ``restart_prob`` > 0 each step teleports back to the seed with that
+    probability (personalised-PageRank-style walks).
+    """
+    if length < 0:
+        raise ConfigurationError(f"length must be >= 0, got {length}")
+    if not 0.0 <= restart_prob < 1.0:
+        raise ConfigurationError(
+            f"restart_prob must be in [0, 1), got {restart_prob}"
+        )
+    rng = rng or random
+    walks = []
+    for seed in seeds:
+        walk = [int(seed)]
+        current = int(seed)
+        for _ in range(length):
+            if restart_prob and rng.random() < restart_prob:
+                current = int(seed)
+                walk.append(current)
+                continue
+            step = store.sample_neighbors(current, 1, rng, etype)
+            if not step:
+                break
+            current = int(step[0])
+            walk.append(current)
+        walks.append(walk)
+    return walks
+
+
+def node2vec_walks(
+    store: GraphStoreAPI,
+    seeds: Sequence[int],
+    length: int,
+    p: float = 1.0,
+    q: float = 1.0,
+    rng: Optional[random.Random] = None,
+    etype: int = DEFAULT_ETYPE,
+    max_rejections: int = 32,
+) -> List[List[int]]:
+    """2nd-order (node2vec) walks with return parameter ``p`` and
+    in-out parameter ``q``.
+
+    Implemented with KnightKing-style rejection sampling: candidates are
+    proposed from the store's first-order weighted distribution and
+    accepted with probability ``bias / max_bias`` where the bias is
+    ``1/p`` for returning to the previous vertex, ``1`` for a common
+    neighbor of the previous vertex, and ``1/q`` otherwise.  This keeps
+    every proposal a plain O(log n) store draw — no per-vertex transition
+    tables, so the walk definition stays valid under dynamic updates.
+    """
+    if p <= 0 or q <= 0:
+        raise ConfigurationError(f"p and q must be > 0, got p={p}, q={q}")
+    if length < 0:
+        raise ConfigurationError(f"length must be >= 0, got {length}")
+    rng = rng or random
+    max_bias = max(1.0, 1.0 / p, 1.0 / q)
+    walks = []
+    for seed in seeds:
+        walk = [int(seed)]
+        prev: Optional[int] = None
+        current = int(seed)
+        for _ in range(length):
+            candidate: Optional[int] = None
+            for _ in range(max_rejections):
+                step = store.sample_neighbors(current, 1, rng, etype)
+                if not step:
+                    break
+                proposal = int(step[0])
+                if prev is None:
+                    candidate = proposal
+                    break
+                if proposal == prev:
+                    bias = 1.0 / p
+                elif store.has_edge(prev, proposal, etype):
+                    bias = 1.0
+                else:
+                    bias = 1.0 / q
+                if rng.random() * max_bias <= bias:
+                    candidate = proposal
+                    break
+            if candidate is None:
+                break
+            prev, current = current, candidate
+            walk.append(current)
+        walks.append(walk)
+    return walks
+
+
+def metapath_walks(
+    store: GraphStoreAPI,
+    seeds: Sequence[int],
+    schema: Sequence[int],
+    repetitions: int = 1,
+    rng: Optional[random.Random] = None,
+) -> List[List[int]]:
+    """Typed walks following an edge-type schema, repeated in a loop.
+
+    ``schema = [USER_LIVE, LIVE_LIVE]`` with ``repetitions=2`` walks
+    User→Live→Live→Live→Live (metapath2vec-style), stopping early when a
+    hop has no edges of the scheduled type.
+    """
+    if not schema:
+        raise ConfigurationError("schema must contain at least one etype")
+    if repetitions < 1:
+        raise ConfigurationError(
+            f"repetitions must be >= 1, got {repetitions}"
+        )
+    rng = rng or random
+    walks = []
+    for seed in seeds:
+        walk = [int(seed)]
+        current = int(seed)
+        alive = True
+        for _ in range(repetitions):
+            if not alive:
+                break
+            for etype in schema:
+                step = store.sample_neighbors(current, 1, rng, etype)
+                if not step:
+                    alive = False
+                    break
+                current = int(step[0])
+                walk.append(current)
+        walks.append(walk)
+    return walks
+
+
+def walk_cooccurrence(
+    walks: Sequence[Sequence[int]], window: int
+) -> Dict[Tuple[int, int], int]:
+    """Skip-gram (center, context) pair counts within ``window`` hops.
+
+    The training-pair generator for unsupervised walk embeddings; pairs
+    are directed (center, context) with contexts on both sides.
+    """
+    if window < 1:
+        raise ConfigurationError(f"window must be >= 1, got {window}")
+    pairs: Counter = Counter()
+    for walk in walks:
+        for i, center in enumerate(walk):
+            lo = max(0, i - window)
+            hi = min(len(walk), i + window + 1)
+            for j in range(lo, hi):
+                if j != i:
+                    pairs[(int(center), int(walk[j]))] += 1
+    return dict(pairs)

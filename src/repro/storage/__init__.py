@@ -1,0 +1,23 @@
+"""Storage substrates: cuckoo directory, block KV store, attribute store,
+and binary checkpointing."""
+
+from repro.storage.attributes import AttributeSchema, AttributeStore
+from repro.storage.checkpoint import (
+    load_attributes,
+    load_store,
+    save_attributes,
+    save_store,
+)
+from repro.storage.cuckoo import CuckooHashMap
+from repro.storage.kvstore import BlockKVStore
+
+__all__ = [
+    "AttributeSchema",
+    "AttributeStore",
+    "load_attributes",
+    "load_store",
+    "save_attributes",
+    "save_store",
+    "CuckooHashMap",
+    "BlockKVStore",
+]

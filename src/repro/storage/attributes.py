@@ -1,0 +1,175 @@
+"""Attribute (feature) storage (paper §III: "As for the attribute
+storage, the key-value store is used").
+
+GNN training needs, besides topology, a feature vector per vertex (and
+optionally labels).  PlatoD2GL keeps these in a plain key-value store —
+attributes are point-updated, never range-sampled, so the KV indexing
+overhead the samtree avoids for topology is the right tool here.
+
+The store is schema'd: each named field has a fixed dimensionality and
+dtype, so batch gathers return dense ``numpy`` matrices ready for the
+operator layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.core.memory import DEFAULT_MEMORY_MODEL, MemoryModel
+from repro.errors import ConfigurationError, ShapeError, VertexNotFoundError
+
+__all__ = ["AttributeSchema", "AttributeStore"]
+
+
+@dataclass(frozen=True)
+class AttributeSchema:
+    """A named, fixed-width vertex attribute field."""
+
+    name: str
+    dim: int
+    dtype: np.dtype = np.dtype(np.float32)
+
+    def __post_init__(self) -> None:
+        if self.dim < 1:
+            raise ConfigurationError(
+                f"attribute dim must be >= 1, got {self.dim}"
+            )
+
+
+class AttributeStore:
+    """Per-vertex feature vectors behind a key-value interface.
+
+    Examples
+    --------
+    >>> store = AttributeStore()
+    >>> store.register("feat", dim=4)
+    >>> store.put("feat", 7, [1.0, 2.0, 3.0, 4.0])
+    >>> store.gather("feat", [7, 8]).shape
+    (2, 4)
+    """
+
+    def __init__(self, model: MemoryModel = DEFAULT_MEMORY_MODEL) -> None:
+        self._schemas: Dict[str, AttributeSchema] = {}
+        self._fields: Dict[str, Dict[int, np.ndarray]] = {}
+        self._model = model
+
+    # ------------------------------------------------------------------
+    # schema management
+    # ------------------------------------------------------------------
+    def register(
+        self, name: str, dim: int, dtype: np.dtype = np.dtype(np.float32)
+    ) -> None:
+        """Declare a field; idempotent if the declaration is identical."""
+        schema = AttributeSchema(name, dim, np.dtype(dtype))
+        existing = self._schemas.get(name)
+        if existing is not None:
+            if existing != schema:
+                raise ConfigurationError(
+                    f"attribute {name!r} already registered with a "
+                    f"different schema ({existing} vs {schema})"
+                )
+            return
+        self._schemas[name] = schema
+        self._fields[name] = {}
+
+    def schema(self, name: str) -> AttributeSchema:
+        """Return the schema of a field."""
+        try:
+            return self._schemas[name]
+        except KeyError:
+            raise ConfigurationError(f"unknown attribute field {name!r}") from None
+
+    def fields(self) -> Iterator[str]:
+        """Iterate over registered field names."""
+        return iter(self._schemas)
+
+    # ------------------------------------------------------------------
+    # point access
+    # ------------------------------------------------------------------
+    def put(self, name: str, vertex: int, value: Sequence[float]) -> None:
+        """Set the feature vector of one vertex."""
+        schema = self.schema(name)
+        arr = np.asarray(value, dtype=schema.dtype)
+        if arr.shape != (schema.dim,):
+            raise ShapeError(
+                f"attribute {name!r} expects shape ({schema.dim},), "
+                f"got {arr.shape}"
+            )
+        self._fields[name][int(vertex)] = arr
+
+    def put_many(
+        self, name: str, vertices: Sequence[int], values: np.ndarray
+    ) -> None:
+        """Set feature vectors for many vertices from a dense matrix."""
+        schema = self.schema(name)
+        matrix = np.asarray(values, dtype=schema.dtype)
+        if matrix.shape != (len(vertices), schema.dim):
+            raise ShapeError(
+                f"attribute {name!r} expects shape "
+                f"({len(vertices)}, {schema.dim}), got {matrix.shape}"
+            )
+        field = self._fields[name]
+        for i, v in enumerate(vertices):
+            field[int(v)] = matrix[i].copy()
+
+    def get(self, name: str, vertex: int) -> np.ndarray:
+        """Feature vector of one vertex; raises if missing."""
+        field = self._fields[self.schema(name).name]
+        try:
+            return field[int(vertex)]
+        except KeyError:
+            raise VertexNotFoundError(
+                f"vertex {vertex} has no {name!r} attribute"
+            ) from None
+
+    def get_or_default(self, name: str, vertex: int) -> np.ndarray:
+        """Feature vector or a zero vector when missing (cold vertices)."""
+        schema = self.schema(name)
+        value = self._fields[name].get(int(vertex))
+        if value is None:
+            return np.zeros(schema.dim, dtype=schema.dtype)
+        return value
+
+    def delete(self, name: str, vertex: int) -> bool:
+        """Drop one vertex's value; returns whether it existed."""
+        return self._fields[self.schema(name).name].pop(int(vertex), None) is not None
+
+    def has(self, name: str, vertex: int) -> bool:
+        """Whether the vertex has a stored value for the field."""
+        return int(vertex) in self._fields[self.schema(name).name]
+
+    def num_vertices(self, name: str) -> int:
+        """Number of vertices with a stored value for the field."""
+        return len(self._fields[self.schema(name).name])
+
+    # ------------------------------------------------------------------
+    # batch access (the GNN gather path)
+    # ------------------------------------------------------------------
+    def gather(self, name: str, vertices: Iterable[int]) -> np.ndarray:
+        """Dense ``(len(vertices), dim)`` matrix; missing rows are zero."""
+        schema = self.schema(name)
+        field = self._fields[name]
+        ids = list(vertices)
+        out = np.zeros((len(ids), schema.dim), dtype=schema.dtype)
+        for i, v in enumerate(ids):
+            row = field.get(int(v))
+            if row is not None:
+                out[i] = row
+        return out
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def nbytes(self) -> int:
+        """Keys + index entries + payload bytes under the memory model."""
+        model = self._model
+        per_pair = model.id_bytes + model.kv_index_entry_bytes
+        total = 0
+        for name, field in self._fields.items():
+            itemsize = self._schemas[name].dtype.itemsize
+            dim = self._schemas[name].dim
+            total += len(field) * (per_pair + itemsize * dim)
+        return total

@@ -1,0 +1,28 @@
+"""Shared fixtures for the PlatoD2GL reproduction test suite."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.samtree import SamtreeConfig
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """Deterministic stdlib RNG."""
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def nprng() -> np.random.Generator:
+    """Deterministic NumPy RNG."""
+    return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture
+def small_config() -> SamtreeConfig:
+    """A tiny samtree capacity so tests exercise splits and merges."""
+    return SamtreeConfig(capacity=8, alpha=0, compress=True)

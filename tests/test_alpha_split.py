@@ -1,0 +1,145 @@
+"""Tests for the α-Split algorithm (paper §IV-C, Algorithm 1)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.alpha_split import alpha_split, hoare_partition, split_arrays
+from repro.errors import ConfigurationError, IndexOutOfRangeError
+
+
+def _unique_ids(r: random.Random, n: int) -> list:
+    return r.sample(range(n * 10), n)
+
+
+class TestHoarePartition:
+    def test_places_pivot_correctly(self):
+        ids = [5, 1, 9, 3, 7]
+        pos = hoare_partition(ids, 0, 4, 0)  # pivot value 5
+        assert ids[pos] == 5
+        assert all(v < 5 for v in ids[:pos])
+        assert all(v > 5 for v in ids[pos + 1 :])
+
+    def test_moves_companion_in_lockstep(self):
+        ids = [30, 10, 20]
+        weights = [3.0, 1.0, 2.0]
+        hoare_partition(ids, 0, 2, 0, weights)
+        assert [weights[ids.index(v)] for v in (10, 20, 30)] == [1.0, 2.0, 3.0]
+
+    def test_window_partition(self):
+        ids = [100, 4, 2, 8, 6, 200]
+        pos = hoare_partition(ids, 1, 4, 2)  # pivot value 2 within window
+        assert ids[0] == 100 and ids[5] == 200  # outside window untouched
+        assert ids[pos] == 2
+
+    def test_bad_pivot_index(self):
+        with pytest.raises(IndexOutOfRangeError):
+            hoare_partition([1, 2, 3], 0, 2, 5)
+
+
+class TestAlphaSplit:
+    def test_exact_median_when_alpha_zero(self):
+        """α = 0 degenerates to QuickSelect (paper remark)."""
+        r = random.Random(0)
+        for n in (2, 3, 5, 8, 17, 64, 129):
+            ids = _unique_ids(r, n)
+            pos = alpha_split(ids, alpha=0)
+            assert pos == n // 2
+            assert max(ids[:pos]) < min(ids[pos:])
+
+    def test_alpha_relaxed_inequality(self):
+        """The returned pivot satisfies |p - k| <= α (Equation 3)."""
+        r = random.Random(1)
+        for alpha in (1, 2, 5, 10):
+            for _ in range(20):
+                n = r.randrange(8, 200)
+                ids = _unique_ids(r, n)
+                pos = alpha_split(ids, alpha=alpha)
+                assert abs(pos - n // 2) <= alpha
+                assert 0 < pos < n
+                assert max(ids[:pos]) < min(ids[pos:])
+
+    def test_explicit_target_position(self):
+        r = random.Random(2)
+        ids = _unique_ids(r, 50)
+        pos = alpha_split(ids, k=10, alpha=0)
+        assert pos == 10
+        assert max(ids[:10]) < min(ids[10:])
+
+    def test_companion_follows(self):
+        r = random.Random(3)
+        ids = _unique_ids(r, 30)
+        weights = [float(v) * 2 for v in ids]
+        alpha_split(ids, alpha=0, companion=weights)
+        assert weights == [float(v) * 2 for v in ids]
+
+    def test_validation(self):
+        with pytest.raises(IndexOutOfRangeError):
+            alpha_split([], alpha=0)
+        with pytest.raises(ConfigurationError):
+            alpha_split([1, 2], alpha=-1)
+        with pytest.raises(IndexOutOfRangeError):
+            alpha_split([1, 2], k=5)
+        with pytest.raises(ConfigurationError):
+            alpha_split([1, 2], companion=[1.0])
+
+    def test_two_elements(self):
+        ids = [9, 4]
+        pos = alpha_split(ids, alpha=0)
+        assert pos == 1
+        assert ids == [4, 9]
+
+    def test_already_sorted_and_reversed(self):
+        for ids in ([1, 2, 3, 4, 5, 6], [6, 5, 4, 3, 2, 1]):
+            work = list(ids)
+            pos = alpha_split(work, alpha=0)
+            assert pos == 3
+            assert max(work[:3]) < min(work[3:])
+
+
+class TestSplitArrays:
+    def test_separator_is_right_minimum(self):
+        r = random.Random(4)
+        ids = _unique_ids(r, 41)
+        weights = [r.random() for _ in ids]
+        pairs = dict(zip(ids, weights))
+        left_ids, left_w, right_ids, right_w, sep = split_arrays(
+            ids, weights, alpha=0
+        )
+        assert sep == min(right_ids)
+        assert max(left_ids) < sep
+        assert dict(zip(left_ids + right_ids, left_w + right_w)) == pairs
+        assert len(left_ids) + len(right_ids) == len(ids)
+
+    def test_both_halves_nonempty(self):
+        r = random.Random(5)
+        for alpha in (0, 3, 100):
+            ids = _unique_ids(r, 9)
+            weights = [1.0] * 9
+            left_ids, _, right_ids, _, _ = split_arrays(ids, weights, alpha)
+            assert left_ids and right_ids
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=2**63 - 1), min_size=2,
+             max_size=300, unique=True),
+    st.integers(min_value=0, max_value=20),
+)
+@settings(max_examples=150)
+def test_alpha_split_property(ids, alpha):
+    """For any unique ID set and slack: bipartition holds, both halves
+    are non-empty, and the position honours the α window."""
+    work = list(ids)
+    n = len(work)
+    pos = alpha_split(work, alpha=alpha)
+    assert 0 < pos < n
+    assert max(work[:pos]) < min(work[pos:])
+    assert sorted(work) == sorted(ids)
+    if alpha == 0:
+        assert pos == n // 2
+    else:
+        assert max(1, n // 2 - alpha) <= pos <= min(n - 1, n // 2 + alpha)

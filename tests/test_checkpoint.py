@@ -1,0 +1,149 @@
+"""Tests for binary snapshot persistence (repro.storage.checkpoint)."""
+
+from __future__ import annotations
+
+import io
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.samtree import SamtreeConfig
+from repro.core.topology import DynamicGraphStore
+from repro.errors import ConfigurationError
+from repro.storage.attributes import AttributeStore
+from repro.storage.checkpoint import (
+    load_attributes,
+    load_store,
+    save_attributes,
+    save_store,
+)
+
+
+def random_store(seed=0, n=2000, capacity=16) -> DynamicGraphStore:
+    rng = random.Random(seed)
+    store = DynamicGraphStore(SamtreeConfig(capacity=capacity))
+    for _ in range(n):
+        store.add_edge(
+            rng.randrange(50),
+            rng.randrange(10**9),
+            round(rng.random() * 10, 4),
+            etype=rng.randrange(3),
+        )
+    return store
+
+
+class TestStoreRoundtrip:
+    def test_roundtrip_in_memory(self):
+        store = random_store()
+        buf = io.BytesIO()
+        written = save_store(store, buf)
+        assert written == len(buf.getvalue())
+        buf.seek(0)
+        loaded = load_store(buf)
+        assert loaded.num_edges == store.num_edges
+        assert loaded.num_sources == store.num_sources
+        assert loaded.config == store.config
+        for etype in store.etypes():
+            for src in store.sources(etype):
+                a = dict(store.neighbors(src, etype))
+                b = dict(loaded.neighbors(src, etype))
+                assert a.keys() == b.keys()
+                for k in a:
+                    assert b[k] == pytest.approx(a[k])
+        loaded.check_invariants()
+
+    def test_roundtrip_via_file(self, tmp_path):
+        store = random_store(seed=1, n=500)
+        path = str(tmp_path / "snap.pd2g")
+        save_store(store, path)
+        loaded = load_store(path)
+        assert loaded.num_edges == store.num_edges
+
+    def test_empty_store(self):
+        buf = io.BytesIO()
+        save_store(DynamicGraphStore(), buf)
+        buf.seek(0)
+        loaded = load_store(buf)
+        assert loaded.num_edges == 0
+
+    def test_config_preserved(self):
+        store = DynamicGraphStore(
+            SamtreeConfig(capacity=32, alpha=3, compress=False)
+        )
+        store.add_edge(1, 2, 1.0)
+        buf = io.BytesIO()
+        save_store(store, buf)
+        buf.seek(0)
+        loaded = load_store(buf)
+        assert loaded.config.capacity == 32
+        assert loaded.config.alpha == 3
+        assert loaded.config.compress is False
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ConfigurationError):
+            load_store(io.BytesIO(b"not a snapshot at all"))
+
+    def test_rejects_truncation(self):
+        store = random_store(seed=2, n=200)
+        buf = io.BytesIO()
+        save_store(store, buf)
+        data = buf.getvalue()
+        with pytest.raises(ConfigurationError):
+            load_store(io.BytesIO(data[: len(data) // 2]))
+
+    def test_rejects_future_version(self):
+        buf = io.BytesIO()
+        save_store(DynamicGraphStore(), buf)
+        data = bytearray(buf.getvalue())
+        data[4] = 0xFF  # bump version byte
+        with pytest.raises(ConfigurationError):
+            load_store(io.BytesIO(bytes(data)))
+
+    def test_deterministic_bytes(self):
+        a, b = io.BytesIO(), io.BytesIO()
+        save_store(random_store(seed=3), a)
+        save_store(random_store(seed=3), b)
+        assert a.getvalue() == b.getvalue()
+
+
+class TestAttributeRoundtrip:
+    def test_roundtrip(self):
+        attrs = AttributeStore()
+        attrs.register("feat", 4)
+        attrs.register("label", 1, np.dtype(np.int64))
+        rng = np.random.default_rng(0)
+        for v in range(100):
+            attrs.put("feat", v * 7, rng.normal(size=4).astype(np.float32))
+            attrs.put("label", v * 7, [v % 5])
+        buf = io.BytesIO()
+        save_attributes(attrs, buf)
+        buf.seek(0)
+        loaded = load_attributes(buf)
+        assert sorted(loaded.fields()) == ["feat", "label"]
+        assert loaded.schema("feat").dim == 4
+        assert loaded.schema("label").dtype == np.dtype(np.int64)
+        for v in range(100):
+            assert loaded.get("feat", v * 7) == pytest.approx(
+                attrs.get("feat", v * 7)
+            )
+            assert loaded.get("label", v * 7)[0] == v % 5
+
+    def test_empty(self):
+        buf = io.BytesIO()
+        save_attributes(AttributeStore(), buf)
+        buf.seek(0)
+        assert list(load_attributes(buf).fields()) == []
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ConfigurationError):
+            load_attributes(io.BytesIO(b"xxxxxxxxxxxx"))
+
+    def test_file_roundtrip(self, tmp_path):
+        attrs = AttributeStore()
+        attrs.register("feat", 2)
+        attrs.put("feat", 9, [1.0, 2.0])
+        path = str(tmp_path / "attrs.pd2a")
+        save_attributes(attrs, path)
+        loaded = load_attributes(path)
+        assert loaded.get("feat", 9).tolist() == [1.0, 2.0]

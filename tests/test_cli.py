@@ -1,0 +1,74 @@
+"""Tests for the command-line interface (python -m repro)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestStats:
+    def test_all(self, capsys):
+        assert main(["stats", "all"]) == 0
+        out = capsys.readouterr().out
+        assert "63.30B" in out
+
+    def test_scaled(self, capsys):
+        assert main(["stats", "OGBN", "--scale", "20000"]) == 0
+        out = capsys.readouterr().out
+        assert "Product-Product" in out
+        assert "bi-directed total" in out
+
+
+class TestBuildAndSnapshotRoundtrip:
+    def test_build_without_snapshot(self, capsys):
+        assert main(["build", "OGBN", "--scale", "20000"]) == 0
+        out = capsys.readouterr().out
+        assert "modeled memory" in out
+
+    def test_build_baseline(self, capsys):
+        assert main(
+            ["build", "OGBN", "--scale", "20000", "--system", "PlatoGL"]
+        ) == 0
+        assert "PlatoGL" in capsys.readouterr().out
+
+    def test_snapshot_pipeline(self, tmp_path, capsys):
+        snap = str(tmp_path / "g.pd2g")
+        assert main(["build", "OGBN", "--scale", "20000", "--output", snap]) == 0
+        assert main(["inspect", snap]) == 0
+        out = capsys.readouterr().out
+        assert "capacity=256" in out
+        assert main(["sample", snap, "--k", "3"]) == 0
+        assert "weighted draws" in capsys.readouterr().out
+        assert main(["selftest", snap]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_snapshot_rejected_for_baselines(self, tmp_path, capsys):
+        snap = str(tmp_path / "g.pd2g")
+        rc = main(
+            [
+                "build", "OGBN", "--scale", "20000",
+                "--system", "AliGraph", "--output", snap,
+            ]
+        )
+        assert rc == 2
+
+    def test_sample_specific_vertex(self, tmp_path, capsys):
+        snap = str(tmp_path / "g.pd2g")
+        main(["build", "OGBN", "--scale", "20000", "--output", snap])
+        capsys.readouterr()
+        from repro.storage.checkpoint import load_store
+
+        src = next(iter(load_store(snap).sources()))
+        assert main(["sample", snap, "--vertex", str(src), "--k", "4"]) == 0
+        assert f"vertex {src}" in capsys.readouterr().out

@@ -1,0 +1,180 @@
+"""Unit tests for the CSTable / ITS baseline index (paper §II-B)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.cstable import CSTable
+from repro.errors import (
+    EmptyStructureError,
+    IndexOutOfRangeError,
+    InvalidWeightError,
+)
+
+
+class TestConstruction:
+    def test_equation_2_prefix_sums(self):
+        """C[i] is the strict prefix sum (paper Equation 2), e.g. the
+        Figure 3 example: weights 0.6, 0.7 → C = [0.6, 1.3]."""
+        table = CSTable([0.6, 0.7])
+        assert table.prefix_sum(0) == pytest.approx(0.6)
+        assert table.prefix_sum(1) == pytest.approx(1.3)
+
+    def test_empty(self):
+        table = CSTable()
+        assert len(table) == 0
+        assert table.total() == 0.0
+        assert table.to_weights() == []
+
+    def test_rejects_bad_weights(self):
+        for bad in (-0.5, float("nan"), float("inf")):
+            with pytest.raises(InvalidWeightError):
+                CSTable([bad])
+
+
+class TestQueries:
+    def test_weight_recovery(self):
+        weights = [0.5, 0.2, 0.4, 1.1]
+        table = CSTable(weights)
+        for i, w in enumerate(weights):
+            assert table.weight(i) == pytest.approx(w)
+
+    def test_iteration(self):
+        weights = [1.0, 2.0, 3.0]
+        assert list(CSTable(weights)) == pytest.approx(weights)
+
+    def test_bounds(self):
+        table = CSTable([1.0])
+        with pytest.raises(IndexOutOfRangeError):
+            table.weight(1)
+        with pytest.raises(IndexOutOfRangeError):
+            table.prefix_sum(-1)
+
+
+class TestUpdates:
+    def test_append_is_o1_semantics(self):
+        table = CSTable([1.0])
+        assert table.append(2.0) == 1
+        assert table.prefix_sum(1) == pytest.approx(3.0)
+
+    def test_update_rewrites_suffix(self):
+        table = CSTable([1.0, 2.0, 3.0])
+        old = table.update(0, 10.0)
+        assert old == pytest.approx(1.0)
+        assert table.to_weights() == pytest.approx([10.0, 2.0, 3.0])
+        assert table.prefix_sum(2) == pytest.approx(15.0)
+
+    def test_delete_shifts(self):
+        table = CSTable([1.0, 2.0, 3.0])
+        assert table.delete(1) == pytest.approx(2.0)
+        assert table.to_weights() == pytest.approx([1.0, 3.0])
+
+    def test_insert_middle(self):
+        table = CSTable([1.0, 3.0])
+        table.insert(1, 2.0)
+        assert table.to_weights() == pytest.approx([1.0, 2.0, 3.0])
+        table.insert(0, 0.5)
+        assert table.to_weights() == pytest.approx([0.5, 1.0, 2.0, 3.0])
+        table.insert(4, 4.0)
+        assert table.to_weights() == pytest.approx([0.5, 1.0, 2.0, 3.0, 4.0])
+        with pytest.raises(IndexOutOfRangeError):
+            table.insert(6, 1.0)
+
+    def test_add_delta(self):
+        table = CSTable([1.0, 2.0])
+        table.add(0, 0.5)
+        assert table.to_weights() == pytest.approx([1.5, 2.0])
+        with pytest.raises(InvalidWeightError):
+            table.add(0, float("inf"))
+
+
+class TestSampling:
+    def test_search_its_rule(self):
+        table = CSTable([0.5, 0.2, 0.3])
+        assert table.search(0.0) == 0
+        assert table.search(0.49) == 0
+        assert table.search(0.5) == 1
+        assert table.search(0.69) == 1
+        assert table.search(0.7) == 2
+        assert table.search(0.999) == 2
+
+    def test_search_clamps_overflow_mass(self):
+        table = CSTable([1.0, 1.0])
+        assert table.search(2.5) == 1
+
+    def test_search_empty_raises(self):
+        with pytest.raises(EmptyStructureError):
+            CSTable().search(0.0)
+        with pytest.raises(EmptyStructureError):
+            CSTable().sample()
+
+    def test_negative_mass_rejected(self):
+        with pytest.raises(InvalidWeightError):
+            CSTable([1.0]).search(-1e-9)
+
+    def test_sample_distribution(self):
+        table = CSTable([2.0, 8.0])
+        r = random.Random(0)
+        hits = sum(table.sample(r) for _ in range(20000))
+        assert hits / 20000 == pytest.approx(0.8, abs=0.02)
+
+    def test_sample_zero_weights_uniform(self):
+        table = CSTable([0.0, 0.0])
+        r = random.Random(1)
+        assert {table.sample(r) for _ in range(50)} == {0, 1}
+
+    def test_sample_many(self):
+        out = CSTable([1.0]).sample_many(5)
+        assert out == [0] * 5
+        with pytest.raises(IndexOutOfRangeError):
+            CSTable([1.0]).sample_many(-2)
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+        min_size=0,
+        max_size=100,
+    )
+)
+def test_roundtrip_property(weights):
+    assert CSTable(weights).to_weights() == pytest.approx(
+        weights, rel=1e-9, abs=1e-9
+    )
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["append", "update", "delete", "insert"]),
+            st.floats(min_value=0.0, max_value=9.0, allow_nan=False),
+            st.integers(min_value=0, max_value=1000),
+        ),
+        min_size=1,
+        max_size=80,
+    )
+)
+def test_op_sequence_property(ops):
+    table = CSTable()
+    ref = []
+    for kind, w, raw in ops:
+        if kind == "append" or not ref:
+            table.append(w)
+            ref.append(w)
+        elif kind == "update":
+            i = raw % len(ref)
+            table.update(i, w)
+            ref[i] = w
+        elif kind == "insert":
+            i = raw % (len(ref) + 1)
+            table.insert(i, w)
+            ref.insert(i, w)
+        else:
+            i = raw % len(ref)
+            table.delete(i)
+            ref.pop(i)
+    assert table.to_weights() == pytest.approx(ref, rel=1e-9, abs=1e-9)

@@ -1,0 +1,157 @@
+"""Tests for the concurrent cuckoo hashmap directory (paper §IV-B)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.storage.cuckoo import CuckooHashMap
+
+
+class TestBasics:
+    def test_put_get(self):
+        m = CuckooHashMap()
+        m.put("a", 1)
+        assert m.get("a") == 1
+        assert m.get("b") is None
+        assert m.get("b", 7) == 7
+        assert len(m) == 1
+        assert "a" in m and "b" not in m
+
+    def test_overwrite(self):
+        m = CuckooHashMap()
+        m.put(1, "x")
+        m.put(1, "y")
+        assert m.get(1) == "y"
+        assert len(m) == 1
+
+    def test_delete(self):
+        m = CuckooHashMap()
+        m.put(1, "x")
+        assert m.delete(1) is True
+        assert m.delete(1) is False
+        assert len(m) == 0
+        assert m.get(1) is None
+
+    def test_none_values_are_storable(self):
+        m = CuckooHashMap()
+        m.put("k", None)
+        assert "k" in m
+        assert m.get("k", "default") is None
+
+    def test_tuple_keys(self):
+        m = CuckooHashMap()
+        m.put((0, 5), "tree")
+        assert m.get((0, 5)) == "tree"
+        assert m.get((1, 5)) is None
+
+    def test_get_or_create(self):
+        m = CuckooHashMap()
+        created = []
+        v1 = m.get_or_create("k", lambda: created.append(1) or "v")
+        v2 = m.get_or_create("k", lambda: created.append(1) or "w")
+        assert v1 == v2 == "v"
+        assert created == [1]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CuckooHashMap(initial_buckets=0)
+
+
+class TestGrowth:
+    def test_grows_past_initial_capacity(self):
+        m = CuckooHashMap(initial_buckets=1)
+        for i in range(1000):
+            m.put(i, i * 2)
+        assert len(m) == 1000
+        for i in range(1000):
+            assert m.get(i) == i * 2
+
+    def test_load_factor_reported(self):
+        m = CuckooHashMap(initial_buckets=4)
+        for i in range(10):
+            m.put(i, i)
+        assert 0.0 < m.load_factor <= 1.0
+
+    def test_iteration(self):
+        m = CuckooHashMap()
+        for i in range(50):
+            m.put(i, -i)
+        assert sorted(m.keys()) == list(range(50))
+        assert sorted(m) == list(range(50))
+        assert dict(m.items()) == {i: -i for i in range(50)}
+        assert sorted(m.values()) == sorted(-i for i in range(50))
+
+    def test_nbytes_scales_with_buckets(self):
+        small = CuckooHashMap(initial_buckets=4)
+        big = CuckooHashMap(initial_buckets=4)
+        for i in range(500):
+            big.put(i, i)
+        assert big.nbytes() > small.nbytes()
+
+
+class TestConcurrency:
+    def test_threaded_writers_disjoint_keys(self):
+        m = CuckooHashMap()
+        errors = []
+
+        def writer(base):
+            try:
+                for i in range(300):
+                    m.put((base, i), base * 1000 + i)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(t,)) for t in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(m) == 8 * 300
+        for t in range(8):
+            for i in range(300):
+                assert m.get((t, i)) == t * 1000 + i
+
+    def test_threaded_get_or_create_single_winner(self):
+        m = CuckooHashMap()
+        created = []
+
+        def worker():
+            m.get_or_create("k", lambda: created.append(1) or object())
+
+        threads = [threading.Thread(target=worker) for _ in range(16)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(created) == 1
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["put", "delete"]),
+            st.integers(min_value=0, max_value=100),
+            st.integers(),
+        ),
+        max_size=300,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_matches_dict_semantics(ops):
+    m = CuckooHashMap(initial_buckets=1)
+    ref = {}
+    for kind, k, v in ops:
+        if kind == "put":
+            m.put(k, v)
+            ref[k] = v
+        else:
+            assert m.delete(k) == (k in ref)
+            ref.pop(k, None)
+    assert len(m) == len(ref)
+    assert dict(m.items()) == ref

@@ -1,0 +1,130 @@
+"""Property-based tests: FSTable vs a naive flat reference (hypothesis)."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cstable import CSTable
+from repro.core.fenwick import FSTable
+
+# Weights with enough spread to stress float paths but no degenerate inf.
+weights_st = st.floats(
+    min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+weight_lists = st.lists(weights_st, min_size=0, max_size=200)
+
+
+@given(weight_lists)
+def test_total_matches_sum(weights: List[float]):
+    assert FSTable(weights).total() == pytest.approx(sum(weights), rel=1e-9, abs=1e-9)
+
+
+@given(weight_lists.filter(lambda w: len(w) > 0))
+def test_prefix_sums_match_reference(weights: List[float]):
+    table = FSTable(weights)
+    tol = 1e-9 * max(1.0, sum(weights))
+    running = 0.0
+    for i, w in enumerate(weights):
+        running += w
+        assert table.prefix_sum(i) == pytest.approx(running, rel=1e-9, abs=tol)
+
+
+@given(weight_lists)
+def test_roundtrip_to_weights(weights: List[float]):
+    # Reconstruction subtracts partial sums, so the absolute error scales
+    # with the table's total mass (standard float cancellation).
+    tol = 1e-9 * max(1.0, sum(weights))
+    assert FSTable(weights).to_weights() == pytest.approx(
+        weights, rel=1e-9, abs=tol
+    )
+
+
+@given(weight_lists)
+def test_incremental_build_equals_bulk(weights: List[float]):
+    inc = FSTable()
+    for w in weights:
+        inc.append(w)
+    bulk = FSTable(weights)
+    tol = 1e-9 * max(1.0, sum(weights))
+    for i in range(len(weights)):
+        assert inc.entry(i) == pytest.approx(bulk.entry(i), rel=1e-9, abs=tol)
+
+
+# An op sequence: (kind, value) applied to both FSTable and a flat list.
+ops_st = st.lists(
+    st.tuples(
+        st.sampled_from(["append", "update", "delete"]),
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        st.integers(min_value=0, max_value=10_000),
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+
+@given(ops_st)
+@settings(max_examples=200)
+def test_op_sequences_match_flat_reference(
+    ops: List[Tuple[str, float, int]]
+):
+    """Arbitrary interleavings of append / in-place update / swap-delete
+    keep the FSTable equal to a flat reference list."""
+    table = FSTable()
+    ref: List[float] = []
+    for kind, w, raw_i in ops:
+        if kind == "append" or not ref:
+            table.append(w)
+            ref.append(w)
+        elif kind == "update":
+            i = raw_i % len(ref)
+            table.update(i, w)
+            ref[i] = w
+        else:
+            i = raw_i % len(ref)
+            table.delete(i)
+            ref[i] = ref[-1]
+            ref.pop()
+    assert table.to_weights() == pytest.approx(ref, rel=1e-9, abs=1e-9)
+    assert table.total() == pytest.approx(sum(ref), rel=1e-9, abs=1e-6)
+
+
+@given(
+    st.lists(
+        st.floats(min_value=1e-3, max_value=100.0, allow_nan=False),
+        min_size=1,
+        max_size=150,
+    ),
+    st.floats(min_value=0.0, max_value=1.0, exclude_max=True),
+)
+def test_fts_equals_its(weights: List[float], u: float):
+    """FTS over soft prefix sums selects the same index as ITS over the
+    strict prefix sums for any sampling mass (paper §V-B)."""
+    fs = FSTable(weights)
+    cs = CSTable(weights)
+    mass = u * sum(weights)
+    assert fs.sample_with(mass) == cs.search(mass)
+
+
+@given(
+    st.lists(
+        st.floats(min_value=1e-3, max_value=10.0, allow_nan=False),
+        min_size=2,
+        max_size=60,
+    ),
+    st.integers(min_value=0, max_value=10_000),
+)
+def test_delete_preserves_fts_its_agreement(weights: List[float], raw: int):
+    fs = FSTable(weights)
+    i = raw % len(weights)
+    fs.delete(i)
+    ref = list(weights)
+    ref[i] = ref[-1]
+    ref.pop()
+    cs = CSTable(ref)
+    for step in range(7):
+        mass = (step / 7.0) * sum(ref)
+        assert fs.sample_with(mass) == cs.search(mass)

@@ -1,0 +1,132 @@
+"""Tests for shard rebalancing over the local cluster."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.samtree import SamtreeConfig
+from repro.distributed import HashBySourcePartitioner, LocalCluster
+from repro.distributed.rebalance import (
+    Move,
+    OverridePartitioner,
+    execute_plan,
+    plan_rebalance,
+)
+from repro.errors import ConfigurationError, PartitionError
+
+
+def skewed_cluster(num_servers=3, hub_edges=600, seed=0) -> LocalCluster:
+    """A cluster where one hub source dominates its shard."""
+    cluster = LocalCluster(num_servers=num_servers, config=SamtreeConfig(capacity=32))
+    rng = random.Random(seed)
+    hub = 424242
+    for i in range(hub_edges):
+        cluster.client.add_edge(hub, i, 1.0)
+    for src in range(80):
+        for _ in range(4):
+            cluster.client.add_edge(src, rng.randrange(10_000), 1.0)
+    return cluster
+
+
+class TestOverridePartitioner:
+    def test_override_wins(self):
+        base = HashBySourcePartitioner(4)
+        part = OverridePartitioner(base)
+        src = 12345
+        original = base.shard_for(src)
+        target = (original + 1) % 4
+        part.add_override(src, target)
+        assert part.shard_for(src) == target
+        assert part.shard_for(src + 1) == base.shard_for(src + 1)
+
+    def test_override_validation(self):
+        part = OverridePartitioner(HashBySourcePartitioner(2))
+        with pytest.raises(PartitionError):
+            part.add_override(1, 5)
+
+
+class TestPlanning:
+    def test_empty_cluster_no_moves(self):
+        cluster = LocalCluster(num_servers=2)
+        assert plan_rebalance(cluster) == []
+
+    def test_validation(self):
+        cluster = LocalCluster(num_servers=2)
+        with pytest.raises(ConfigurationError):
+            plan_rebalance(cluster, tolerance=0.0)
+        with pytest.raises(ConfigurationError):
+            plan_rebalance(cluster, max_moves=-1)
+
+    def test_plan_reduces_spread(self):
+        cluster = skewed_cluster()
+        before = [s.store.num_edges for s in cluster.servers]
+        moves = plan_rebalance(cluster, tolerance=0.2)
+        assert moves
+        # Simulate the plan's accounting.
+        loads = list(before)
+        for m in moves:
+            loads[m.from_shard] -= m.load
+            loads[m.to_shard] += m.load
+        assert max(loads) - min(loads) < max(before) - min(before)
+
+    def test_plan_respects_max_moves(self):
+        cluster = skewed_cluster()
+        assert len(plan_rebalance(cluster, tolerance=0.01, max_moves=2)) <= 2
+
+    def test_balanced_cluster_needs_nothing(self):
+        cluster = LocalCluster(num_servers=2)
+        # Perfectly splittable uniform load.
+        for src in range(200):
+            cluster.client.add_edge(src, src + 1000, 1.0)
+        moves = plan_rebalance(cluster, tolerance=0.3)
+        assert moves == []
+
+
+class TestExecution:
+    def test_migration_preserves_graph(self):
+        cluster = skewed_cluster()
+        snapshot = {}
+        for server in cluster.servers:
+            for etype in server.store.etypes():
+                for src in server.store.sources(etype):
+                    for dst, w in server.store.neighbors(src, etype):
+                        snapshot[(etype, src, dst)] = w
+        moves = plan_rebalance(cluster, tolerance=0.2)
+        execute_plan(cluster, moves)
+        after = {}
+        for server in cluster.servers:
+            for etype in server.store.etypes():
+                for src in server.store.sources(etype):
+                    for dst, w in server.store.neighbors(src, etype):
+                        after[(etype, src, dst)] = w
+        assert after == snapshot
+        # Client reads route correctly through the overrides.
+        for (etype, src, dst), w in list(snapshot.items())[:50]:
+            assert cluster.client.edge_weight(src, dst, etype) == pytest.approx(w)
+
+    def test_spread_shrinks_after_execution(self):
+        cluster = skewed_cluster()
+        before = [s.store.num_edges for s in cluster.servers]
+        moves = plan_rebalance(cluster, tolerance=0.2)
+        execute_plan(cluster, moves)
+        after = [s.store.num_edges for s in cluster.servers]
+        assert max(after) - min(after) < max(before) - min(before)
+        assert sum(after) == sum(before)
+
+    def test_new_traffic_follows_overrides(self):
+        cluster = skewed_cluster()
+        moves = plan_rebalance(cluster, tolerance=0.2)
+        execute_plan(cluster, moves)
+        moved = moves[0]
+        cluster.client.add_edge(moved.src, 999_999, 2.0)
+        owner = cluster.servers[moved.to_shard]
+        assert owner.store.edge_weight(moved.src, 999_999) == pytest.approx(2.0)
+
+    def test_idempotent_partitioner_reuse(self):
+        cluster = skewed_cluster()
+        part = execute_plan(cluster, plan_rebalance(cluster, tolerance=0.2))
+        # A second round reuses the same override partitioner.
+        part2 = execute_plan(cluster, plan_rebalance(cluster, tolerance=0.2))
+        assert part2 is part

@@ -1,0 +1,143 @@
+"""Tests for the neighbor-sampling strategy layer (repro.core.sampling)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.samtree import Samtree, SamtreeConfig
+from repro.core.sampling import (
+    TopKByWeight,
+    UniformWithReplacement,
+    WeightedWithReplacement,
+    WeightedWithoutReplacement,
+    make_strategy,
+)
+from repro.errors import ConfigurationError
+
+
+def make_tree(weights: dict, capacity: int = 8) -> Samtree:
+    tree = Samtree(SamtreeConfig(capacity=capacity))
+    for vid, w in weights.items():
+        tree.insert(vid, w)
+    return tree
+
+
+class TestFactory:
+    def test_known_names(self):
+        for name, cls in [
+            ("weighted", WeightedWithReplacement),
+            ("weighted_distinct", WeightedWithoutReplacement),
+            ("uniform", UniformWithReplacement),
+            ("topk", TopKByWeight),
+        ]:
+            assert isinstance(make_strategy(name), cls)
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            make_strategy("nope")
+
+    def test_kwargs_forwarded(self):
+        strategy = make_strategy("weighted_distinct", max_rounds=3)
+        assert strategy.max_rounds == 3
+        with pytest.raises(ConfigurationError):
+            make_strategy("weighted_distinct", max_rounds=0)
+
+
+class TestWeightedWithReplacement:
+    def test_distribution(self, rng):
+        tree = make_tree({1: 1.0, 2: 9.0})
+        out = WeightedWithReplacement().sample(tree, 10_000, rng)
+        assert len(out) == 10_000
+        assert out.count(2) / 10_000 == pytest.approx(0.9, abs=0.02)
+
+    def test_empty_and_zero(self, rng):
+        strategy = WeightedWithReplacement()
+        assert strategy.sample(make_tree({}), 5, rng) == []
+        assert strategy.sample(make_tree({1: 1.0}), 0, rng) == []
+        with pytest.raises(ConfigurationError):
+            strategy.sample(make_tree({1: 1.0}), -1, rng)
+
+
+class TestWeightedWithoutReplacement:
+    def test_distinct(self, rng):
+        tree = make_tree({v: 1.0 + v for v in range(50)})
+        out = WeightedWithoutReplacement().sample(tree, 20, rng)
+        assert len(out) == 20
+        assert len(set(out)) == 20
+
+    def test_k_exceeding_degree_returns_all(self, rng):
+        tree = make_tree({v: 1.0 for v in range(7)})
+        out = WeightedWithoutReplacement().sample(tree, 100, rng)
+        assert sorted(out) == list(range(7))
+
+    def test_biased_towards_heavy(self, rng):
+        weights = {v: 0.01 for v in range(40)}
+        weights[99] = 100.0
+        tree = make_tree(weights)
+        hits = sum(
+            99 in WeightedWithoutReplacement().sample(tree, 5, rng)
+            for _ in range(200)
+        )
+        assert hits > 190  # virtually always selected
+
+    def test_rejection_exhaustion_falls_back(self, rng):
+        # One dominant neighbor forces heavy rejection; the fallback must
+        # still deliver k distinct IDs.
+        weights = {v: 1e-9 for v in range(30)}
+        weights[7] = 1e9
+        tree = make_tree(weights)
+        out = WeightedWithoutReplacement(max_rounds=1).sample(tree, 10, rng)
+        assert len(out) == 10
+        assert len(set(out)) == 10
+        assert 7 in out
+
+
+class TestUniform:
+    def test_ignores_weights(self, rng):
+        tree = make_tree({1: 1000.0, 2: 0.001})
+        out = UniformWithReplacement().sample(tree, 8000, rng)
+        assert out.count(1) / 8000 == pytest.approx(0.5, abs=0.03)
+
+
+class TestTopK:
+    def test_heaviest_selected(self, rng):
+        tree = make_tree({v: float(v) for v in range(1, 21)})
+        out = TopKByWeight().sample(tree, 5, rng)
+        assert sorted(out) == [16, 17, 18, 19, 20]
+
+    def test_deterministic_tie_break(self, rng):
+        tree = make_tree({5: 1.0, 3: 1.0, 9: 1.0})
+        out1 = TopKByWeight().sample(tree, 2, rng)
+        out2 = TopKByWeight().sample(tree, 2, random.Random(99))
+        assert out1 == out2  # ties broken by ID, not randomness
+
+    def test_k_larger_than_degree(self, rng):
+        tree = make_tree({1: 1.0, 2: 2.0})
+        assert sorted(TopKByWeight().sample(tree, 10, rng)) == [1, 2]
+
+
+@given(
+    st.dictionaries(
+        st.integers(min_value=0, max_value=1000),
+        st.floats(min_value=0.001, max_value=100.0, allow_nan=False),
+        min_size=1,
+        max_size=60,
+    ),
+    st.integers(min_value=0, max_value=80),
+    st.sampled_from(["weighted", "weighted_distinct", "uniform", "topk"]),
+)
+@settings(max_examples=100, deadline=None)
+def test_all_strategies_return_valid_neighbors(adj, k, name):
+    """Every strategy returns only stored IDs and respects its contract."""
+    tree = make_tree(adj)
+    out = make_strategy(name).sample(tree, k, random.Random(0))
+    assert all(vid in adj for vid in out)
+    if name in ("weighted", "uniform"):
+        assert len(out) == (k if adj else 0)
+    else:
+        assert len(out) == min(k, len(adj))
+        assert len(set(out)) == len(out)

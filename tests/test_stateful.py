@@ -1,0 +1,149 @@
+"""Hypothesis stateful (rule-based) machines for the store stack.
+
+These machines drive long, adversarial interleavings that example-based
+tests cannot enumerate: every rule application cross-checks the samtree
+store against a dict-of-dicts model, and the temporal machine checks the
+window semantics against a brute-force filter.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.baselines.platogl import PlatoGLStore
+from repro.core.samtree import SamtreeConfig
+from repro.core.temporal import TemporalGraphStore
+from repro.core.topology import DynamicGraphStore
+
+SRC = st.integers(min_value=0, max_value=6)
+DST = st.integers(min_value=0, max_value=30)
+WEIGHT = st.floats(min_value=0.01, max_value=50.0, allow_nan=False)
+ETYPE = st.sampled_from([0, 1])
+
+
+class StoreMachine(RuleBasedStateMachine):
+    """DynamicGraphStore + PlatoGL vs a dict-of-dicts reference model."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.store = DynamicGraphStore(SamtreeConfig(capacity=4, alpha=1))
+        self.platogl = PlatoGLStore(block_size=4)
+        self.model: dict = {}
+
+    @rule(src=SRC, dst=DST, w=WEIGHT, etype=ETYPE)
+    def add(self, src, dst, w, etype):
+        expected_new = (etype, src, dst) not in self.model
+        assert self.store.add_edge(src, dst, w, etype) == expected_new
+        assert self.platogl.add_edge(src, dst, w, etype) == expected_new
+        self.model[(etype, src, dst)] = w
+
+    @rule(src=SRC, dst=DST, w=WEIGHT, etype=ETYPE)
+    def update(self, src, dst, w, etype):
+        expected = (etype, src, dst) in self.model
+        assert self.store.update_edge(src, dst, w, etype) == expected
+        assert self.platogl.update_edge(src, dst, w, etype) == expected
+        if expected:
+            self.model[(etype, src, dst)] = w
+
+    @rule(src=SRC, dst=DST, etype=ETYPE)
+    def remove(self, src, dst, etype):
+        expected = (etype, src, dst) in self.model
+        assert self.store.remove_edge(src, dst, etype) == expected
+        assert self.platogl.remove_edge(src, dst, etype) == expected
+        self.model.pop((etype, src, dst), None)
+
+    @rule(src=SRC, etype=ETYPE)
+    def read_neighbors(self, src, etype):
+        expected = {
+            dst: w
+            for (e, s, dst), w in self.model.items()
+            if e == etype and s == src
+        }
+        got = dict(self.store.neighbors(src, etype))
+        assert got.keys() == expected.keys()
+        for k, w in expected.items():
+            assert got[k] == pytest.approx(w)
+        assert self.store.degree(src, etype) == len(expected)
+        assert self.platogl.degree(src, etype) == len(expected)
+
+    @invariant()
+    def counters_match(self):
+        assert self.store.num_edges == len(self.model)
+        assert self.platogl.num_edges == len(self.model)
+
+    @invariant()
+    def structure_valid(self):
+        self.store.check_invariants()
+
+
+class TemporalMachine(RuleBasedStateMachine):
+    """TemporalGraphStore vs a brute-force (last_seen, window) filter."""
+
+    WINDOW = 7
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.temporal = TemporalGraphStore(
+            self.WINDOW, config=SamtreeConfig(capacity=4)
+        )
+        self.last_seen: dict = {}
+        self.now = 0
+
+    def _expire(self):
+        self.last_seen = {
+            k: t
+            for k, t in self.last_seen.items()
+            if t + self.WINDOW > self.now
+        }
+
+    @rule(src=SRC, dst=DST, w=WEIGHT, delta=st.integers(min_value=0, max_value=4))
+    def observe(self, src, dst, w, delta):
+        self.now += delta
+        self.temporal.observe(self.now, src, dst, w)
+        self._expire()
+        self.last_seen[(src, dst)] = self.now
+
+    @rule(delta=st.integers(min_value=0, max_value=12))
+    def advance(self, delta):
+        self.now += delta
+        self.temporal.advance(self.now)
+        self._expire()
+
+    @rule(src=SRC, dst=DST)
+    def remove(self, src, dst):
+        expected = (src, dst) in self.last_seen
+        assert self.temporal.remove_edge(src, dst) == expected
+        self.last_seen.pop((src, dst), None)
+
+    @invariant()
+    def live_set_matches(self):
+        live = {
+            (s, d)
+            for s in self.temporal.sources()
+            for d, _ in self.temporal.neighbors(s)
+        }
+        assert live == set(self.last_seen)
+
+    @invariant()
+    def structure_valid(self):
+        self.temporal.check_invariants()
+
+
+TestStoreMachine = StoreMachine.TestCase
+TestStoreMachine.settings = settings(
+    max_examples=40, stateful_step_count=60, deadline=None
+)
+
+TestTemporalMachine = TemporalMachine.TestCase
+TestTemporalMachine.settings = settings(
+    max_examples=40, stateful_step_count=60, deadline=None
+)

@@ -1,0 +1,140 @@
+"""Tests for the static-system baseline (rebuild-on-read semantics)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.static_csr import StaticCSRStore
+from repro.core.samtree import SamtreeConfig
+from repro.core.topology import DynamicGraphStore
+
+
+class TestCRUD:
+    def test_basic(self):
+        store = StaticCSRStore()
+        assert store.add_edge(1, 2, 0.5) is True
+        assert store.add_edge(1, 2, 0.7) is False
+        assert store.edge_weight(1, 2) == pytest.approx(0.7)
+        assert store.update_edge(1, 2, 0.9) is True
+        assert store.update_edge(1, 9, 1.0) is False
+        assert store.remove_edge(1, 2) is True
+        assert store.remove_edge(1, 2) is False
+        assert store.num_edges == 0
+        assert store.num_sources == 0
+
+    def test_neighbors_sorted_csr(self):
+        store = StaticCSRStore()
+        for dst in (5, 1, 9, 3):
+            store.add_edge(7, dst, float(dst))
+        assert store.neighbors(7) == [
+            (1, 1.0), (3, 3.0), (5, 5.0), (9, 9.0)
+        ]
+        assert store.degree(7) == 4
+        assert store.degree(8) == 0
+
+    def test_heterogeneous(self):
+        store = StaticCSRStore()
+        store.add_edge(1, 2, 1.0, etype=0)
+        store.add_edge(1, 3, 2.0, etype=5)
+        assert store.edge_weight(1, 3, etype=0) is None
+        assert store.edge_weight(1, 3, etype=5) == pytest.approx(2.0)
+        assert list(store.sources(etype=5)) == [1]
+
+
+class TestRebuildSemantics:
+    def test_reads_trigger_rebuild_once(self):
+        store = StaticCSRStore()
+        for i in range(100):
+            store.add_edge(1, i, 1.0)
+        assert store.rebuild_count == 0
+        store.degree(1)
+        assert store.rebuild_count == 1
+        store.neighbors(1)
+        store.sample_neighbors(1, 5)
+        assert store.rebuild_count == 1  # clean: no further rebuilds
+
+    def test_every_write_read_cycle_rebuilds(self):
+        store = StaticCSRStore()
+        for i in range(50):
+            store.add_edge(1, i, 1.0)
+            store.degree(1)  # read after write → rebuild
+        assert store.rebuild_count == 50
+
+    def test_rebuild_cost_scales_with_graph(self):
+        """The rebuild touches the whole graph, not the changed row —
+        the O(E) cost that disqualifies static systems (paper §I)."""
+        import time
+
+        def cycle_cost(n):
+            store = StaticCSRStore()
+            for i in range(n):
+                store.add_edge(i % 50, i, 1.0)
+            store.degree(0)
+            start = time.perf_counter()
+            for j in range(20):
+                store.add_edge(1, 10**6 + j, 1.0)
+                store.degree(1)
+            return time.perf_counter() - start
+
+        small, large = cycle_cost(1000), cycle_cost(20000)
+        assert large > 4 * small
+
+    def test_sampling_distribution(self):
+        store = StaticCSRStore()
+        store.add_edge(1, 10, 1.0)
+        store.add_edge(1, 20, 9.0)
+        out = store.sample_neighbors(1, 10000, random.Random(0))
+        assert out.count(20) / 10000 == pytest.approx(0.9, abs=0.02)
+
+    def test_sampling_zero_weights(self):
+        store = StaticCSRStore()
+        store.add_edge(1, 10, 0.0)
+        store.add_edge(1, 20, 0.0)
+        assert set(store.sample_neighbors(1, 100, random.Random(1))) == {10, 20}
+
+    def test_sampling_missing(self):
+        assert StaticCSRStore().sample_neighbors(1, 5) == []
+
+    def test_nbytes(self):
+        store = StaticCSRStore()
+        for i in range(100):
+            store.add_edge(1, i, 1.0)
+        assert store.nbytes() > 100 * 12  # ids + weights at least
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["add", "update", "remove"]),
+            st.integers(min_value=0, max_value=6),
+            st.integers(min_value=0, max_value=40),
+            st.floats(min_value=0.01, max_value=5.0, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=150,
+    )
+)
+@settings(max_examples=80, deadline=None)
+def test_agrees_with_dynamic_store(ops):
+    static = StaticCSRStore()
+    dynamic = DynamicGraphStore(SamtreeConfig(capacity=4))
+    for kind, src, dst, w in ops:
+        if kind == "add":
+            assert static.add_edge(src, dst, w) == dynamic.add_edge(src, dst, w)
+        elif kind == "update":
+            assert static.update_edge(src, dst, w) == dynamic.update_edge(
+                src, dst, w
+            )
+        else:
+            assert static.remove_edge(src, dst) == dynamic.remove_edge(src, dst)
+    assert static.num_edges == dynamic.num_edges
+    for src in set(op[1] for op in ops):
+        a = dict(static.neighbors(src))
+        b = dict(dynamic.neighbors(src))
+        assert a.keys() == b.keys()
+        for k in a:
+            assert a[k] == pytest.approx(b[k])

@@ -1,0 +1,125 @@
+"""Tests for the KV substrate and the attribute (feature) store."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.memory import DEFAULT_MEMORY_MODEL, MemoryModel, humanize_bytes
+from repro.errors import ConfigurationError, ShapeError, VertexNotFoundError
+from repro.storage.attributes import AttributeSchema, AttributeStore
+from repro.storage.kvstore import BlockKVStore
+
+
+class TestBlockKVStore:
+    def make(self):
+        return BlockKVStore(value_nbytes=lambda v: len(v))
+
+    def test_put_get_delete(self):
+        kv = self.make()
+        kv.put(("b", 0, 1), b"abc")
+        assert kv.get(("b", 0, 1)) == b"abc"
+        assert ("b", 0, 1) in kv
+        assert kv.delete(("b", 0, 1)) is True
+        assert kv.delete(("b", 0, 1)) is False
+        assert kv.get(("b", 0, 1)) is None
+
+    def test_len_and_iteration(self):
+        kv = self.make()
+        for i in range(5):
+            kv.put(("b", i), b"x")
+        assert len(kv) == 5
+        assert sorted(kv) == [("b", i) for i in range(5)]
+        assert dict(kv.items())[("b", 2)] == b"x"
+
+    def test_keys_with_prefix(self):
+        kv = self.make()
+        kv.put(("head", 0, 7), b"")
+        kv.put(("block", 0, 7, 0), b"")
+        kv.put(("block", 0, 7, 1), b"")
+        kv.put(("block", 0, 8, 0), b"")
+        assert sorted(kv.keys_with_prefix(("block", 0, 7))) == [
+            ("block", 0, 7, 0),
+            ("block", 0, 7, 1),
+        ]
+
+    def test_nbytes_includes_key_and_index_overhead(self):
+        model = DEFAULT_MEMORY_MODEL
+        kv = self.make()
+        kv.put(("b", 1), b"xyzw")
+        assert kv.nbytes() == model.kv_key_bytes + model.kv_index_entry_bytes + 4
+
+
+class TestAttributeStore:
+    def test_schema_registration(self):
+        store = AttributeStore()
+        store.register("feat", 4)
+        store.register("feat", 4)  # idempotent
+        with pytest.raises(ConfigurationError):
+            store.register("feat", 8)
+        with pytest.raises(ConfigurationError):
+            store.schema("unknown")
+        with pytest.raises(ConfigurationError):
+            AttributeSchema("bad", 0)
+        assert list(store.fields()) == ["feat"]
+
+    def test_put_get(self):
+        store = AttributeStore()
+        store.register("feat", 3)
+        store.put("feat", 7, [1.0, 2.0, 3.0])
+        assert store.get("feat", 7).tolist() == [1.0, 2.0, 3.0]
+        assert store.has("feat", 7)
+        assert not store.has("feat", 8)
+        with pytest.raises(VertexNotFoundError):
+            store.get("feat", 8)
+        with pytest.raises(ShapeError):
+            store.put("feat", 9, [1.0, 2.0])
+
+    def test_get_or_default(self):
+        store = AttributeStore()
+        store.register("feat", 2)
+        assert store.get_or_default("feat", 1).tolist() == [0.0, 0.0]
+
+    def test_put_many_and_gather(self):
+        store = AttributeStore()
+        store.register("feat", 2)
+        store.put_many("feat", [1, 2], np.array([[1, 2], [3, 4]], dtype=np.float32))
+        out = store.gather("feat", [2, 99, 1])
+        assert out.shape == (3, 2)
+        assert out[0].tolist() == [3.0, 4.0]
+        assert out[1].tolist() == [0.0, 0.0]  # missing rows are zero
+        assert out[2].tolist() == [1.0, 2.0]
+        with pytest.raises(ShapeError):
+            store.put_many("feat", [1], np.zeros((2, 2)))
+
+    def test_delete(self):
+        store = AttributeStore()
+        store.register("feat", 1)
+        store.put("feat", 5, [1.0])
+        assert store.delete("feat", 5) is True
+        assert store.delete("feat", 5) is False
+        assert store.num_vertices("feat") == 0
+
+    def test_nbytes(self):
+        store = AttributeStore()
+        store.register("feat", 4)
+        empty = store.nbytes()
+        store.put("feat", 1, [0, 0, 0, 0])
+        assert store.nbytes() > empty
+
+
+class TestMemoryModel:
+    def test_humanize(self):
+        assert humanize_bytes(512) == "512B"
+        assert humanize_bytes(2048) == "2.00KB"
+        assert humanize_bytes(1.5 * (1 << 30)) == "1.50GB"
+        assert humanize_bytes(4.2 * (1 << 40)) == "4.20TB"
+
+    def test_directory_bytes(self):
+        model = MemoryModel()
+        assert model.directory_bytes(0) == 0
+        assert model.directory_bytes(100) > 100 * model.directory_entry_bytes * 0.99
+
+    def test_model_is_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_MEMORY_MODEL.id_bytes = 4  # type: ignore[misc]
