@@ -1,0 +1,183 @@
+"""Scalar vs batched frontier sampling: the read-path engine's win.
+
+Measures the per-vertex scalar path (`sample_neighbors` in a Python
+loop — one root→leaf descent per draw) against the batched path
+(`sample_neighbors_many` — one directory lookup per distinct source,
+vectorized inverse-transform draws off flat snapshots) on a GNN-shaped
+frontier: 1k vertices drawn with hub-heavy repetition from a skewed
+synthetic graph, fan-outs {5, 10, 25}.
+
+Three regimes per fan-out:
+
+* ``scalar``        — the pre-PR read path (also the cache-off path);
+* ``batched_cold``  — first batched call on a cold cache (pays builds);
+* ``batched_warm``  — steady-state frontier sampling (the hot path the
+  acceptance criterion targets: >= 5x over scalar at fan-out 10).
+
+Emits JSON (``--out``, default stdout); ``--smoke`` shrinks everything
+for CI.  The checked-in record is ``BENCH_batched_sampling.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from typing import Dict, List
+
+from repro.core.samtree import SamtreeConfig
+from repro.core.snapshot import SnapshotCache
+from repro.core.topology import DynamicGraphStore
+
+FANOUTS = (5, 10, 25)
+SEED = 0xD2
+
+
+def build_graph(
+    num_sources: int, mean_degree: int, seed: int = SEED
+) -> DynamicGraphStore:
+    """A skewed synthetic graph: degrees and weights both long-tailed."""
+    rng = random.Random(seed)
+    store = DynamicGraphStore(SamtreeConfig(capacity=64, alpha=0))
+    for src in range(num_sources):
+        # Pareto-ish degree: a few hubs, many small adjacencies.
+        degree = max(2, min(int(rng.paretovariate(1.3) * mean_degree / 3),
+                            mean_degree * 20))
+        for _ in range(degree):
+            dst = num_sources + rng.randrange(num_sources * 10)
+            store.add_edge(src, dst, rng.paretovariate(1.5))
+    return store
+
+
+def make_frontier(
+    num_sources: int, size: int, seed: int = SEED + 1
+) -> List[int]:
+    """Hub-heavy frontier: repeated hot vertices, like a GNN mini-batch."""
+    rng = random.Random(seed)
+    hot = max(1, num_sources // 20)
+    frontier = []
+    for _ in range(size):
+        if rng.random() < 0.5:  # half the reads hit the hot 5%
+            frontier.append(rng.randrange(hot))
+        else:
+            frontier.append(rng.randrange(num_sources))
+    return frontier
+
+
+def _time(fn, repeats: int) -> float:
+    """Best-of-N wall time of ``fn()`` (seconds)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_benchmark(
+    num_sources: int,
+    frontier_size: int,
+    mean_degree: int,
+    repeats: int,
+) -> Dict:
+    store = build_graph(num_sources, mean_degree)
+    frontier = make_frontier(num_sources, frontier_size)
+    results = {
+        "config": {
+            "num_sources": num_sources,
+            "num_edges": store.num_edges,
+            "frontier_size": frontier_size,
+            "distinct_sources_in_frontier": len(set(frontier)),
+            "mean_degree": mean_degree,
+            "repeats": repeats,
+            "fanouts": list(FANOUTS),
+        },
+        "fanouts": {},
+    }
+
+    for fanout in FANOUTS:
+        # -- scalar: one descent per draw, one lookup per occurrence ----
+        def scalar():
+            rng = random.Random(SEED)
+            for src in frontier:
+                store.sample_neighbors(src, fanout, rng)
+
+        t_scalar = _time(scalar, repeats)
+
+        # -- batched, cold cache (pays every snapshot build) -------------
+        store.snapshot_cache = SnapshotCache()
+        t_cold = _time(
+            lambda: store.sample_neighbors_many(frontier, fanout, rng=SEED), 1
+        )
+
+        # -- batched, warm cache (steady-state training) ------------------
+        store.snapshot_cache.stats.reset()
+        t_warm = _time(
+            lambda: store.sample_neighbors_many(frontier, fanout, rng=SEED),
+            repeats,
+        )
+        stats = store.snapshot_cache.stats.to_dict()
+
+        results["fanouts"][str(fanout)] = {
+            "scalar_s": t_scalar,
+            "batched_cold_s": t_cold,
+            "batched_warm_s": t_warm,
+            "scalar_vertices_per_s": frontier_size / t_scalar,
+            "batched_warm_vertices_per_s": frontier_size / t_warm,
+            "speedup_warm_vs_scalar": t_scalar / t_warm,
+            "speedup_cold_vs_scalar": t_scalar / t_cold,
+            "cache": stats,
+        }
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny sizes for CI: checks the machinery, not the numbers",
+    )
+    parser.add_argument(
+        "--out", default=None, help="write JSON here (default: stdout)"
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        results = run_benchmark(
+            num_sources=200, frontier_size=100, mean_degree=20, repeats=1
+        )
+    else:
+        results = run_benchmark(
+            num_sources=4000, frontier_size=1000, mean_degree=50, repeats=3
+        )
+    results["mode"] = "smoke" if args.smoke else "full"
+
+    payload = json.dumps(results, indent=2, sort_keys=True)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(payload + "\n")
+    else:
+        print(payload)
+
+    warm10 = results["fanouts"]["10"]["speedup_warm_vs_scalar"]
+    hit10 = results["fanouts"]["10"]["cache"]["hit_rate"]
+    print(
+        f"[bench_batched_sampling] fanout=10: warm speedup "
+        f"{warm10:.1f}x, cache hit rate {hit10:.2%}",
+        file=sys.stderr,
+    )
+    if not args.smoke and warm10 < 5.0:
+        print(
+            "[bench_batched_sampling] FAIL: warm speedup below the 5x "
+            "acceptance bar",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -41,6 +41,8 @@ from repro.core import (
     OpStats,
     Samtree,
     SamtreeConfig,
+    SnapshotCache,
+    TreeSnapshot,
     humanize_bytes,
 )
 from repro.errors import ReproError
@@ -59,6 +61,8 @@ __all__ = [
     "OpStats",
     "Samtree",
     "SamtreeConfig",
+    "SnapshotCache",
+    "TreeSnapshot",
     "humanize_bytes",
     "ReproError",
     "__version__",

@@ -29,6 +29,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 import numpy as np
 
 from repro.core.memory import DEFAULT_MEMORY_MODEL, MemoryModel
+from repro.core.snapshot import RNGLike, coerce_scalar_rng
 from repro.core.types import DEFAULT_ETYPE, GraphStoreAPI
 
 __all__ = ["StaticCSRStore"]
@@ -201,7 +202,7 @@ class StaticCSRStore(GraphStoreAPI):
         self,
         src: int,
         k: int,
-        rng: Optional[random.Random] = None,
+        rng: RNGLike = None,
         etype: int = DEFAULT_ETYPE,
     ) -> List[int]:
         self._ensure_built()
@@ -214,13 +215,36 @@ class StaticCSRStore(GraphStoreAPI):
         lo, hi = row
         base = rel.cumweights[lo - 1] if lo > 0 else 0.0
         total = rel.cumweights[hi - 1] - base
-        rng = rng or random
+        rng = coerce_scalar_rng(rng) or random
         if total <= 0:
             return [int(rel.indices[lo + rng.randrange(hi - lo)]) for _ in range(k)]
         draws = base + np.array([rng.random() * total for _ in range(k)])
         slots = np.searchsorted(rel.cumweights[lo:hi], draws, side="right")
         slots = np.minimum(slots, hi - lo - 1)
         return [int(rel.indices[lo + s]) for s in slots]
+
+    def sample_neighbors_uniform(
+        self,
+        src: int,
+        k: int,
+        rng: RNGLike = None,
+        etype: int = DEFAULT_ETYPE,
+    ) -> List[int]:
+        """Uniform draw off the CSR row (no weight lookup needed)."""
+        self._ensure_built()
+        rel = self._csr.get(etype)
+        if rel is None:
+            return []
+        row = rel.row(src)
+        if row is None or row[0] == row[1]:
+            return []
+        lo, hi = row
+        rng = coerce_scalar_rng(rng) or random
+        return [int(rel.indices[lo + rng.randrange(hi - lo)]) for _ in range(k)]
+
+    # Batched sampling uses the generic :class:`GraphStoreAPI` loop — the
+    # static regime's cost lives in `_ensure_built`, which the first call
+    # of a batch pays once; per-row draws are already array-backed.
 
     # ------------------------------------------------------------------
     # accounting

@@ -14,6 +14,14 @@ from repro.core.fenwick import FSTable
 from repro.core.memory import DEFAULT_MEMORY_MODEL, MemoryModel, humanize_bytes
 from repro.core.metrics import InstrumentedStore, LatencyHistogram, StoreMetrics
 from repro.core.samtree import OpStats, Samtree, SamtreeConfig
+from repro.core.snapshot import (
+    SnapshotCache,
+    SnapshotCacheStats,
+    TreeSnapshot,
+    coerce_generator,
+    coerce_scalar_rng,
+    resolve_rngs,
+)
 from repro.core.sampling import (
     SamplingStrategy,
     TopKByWeight,
@@ -48,6 +56,12 @@ __all__ = [
     "OpStats",
     "Samtree",
     "SamtreeConfig",
+    "SnapshotCache",
+    "SnapshotCacheStats",
+    "TreeSnapshot",
+    "coerce_generator",
+    "coerce_scalar_rng",
+    "resolve_rngs",
     "SamplingStrategy",
     "TopKByWeight",
     "UniformWithReplacement",

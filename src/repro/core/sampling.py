@@ -27,6 +27,7 @@ import random
 from typing import List, Optional
 
 from repro.core.samtree import Samtree
+from repro.core.snapshot import RNGLike, coerce_scalar_rng
 from repro.errors import ConfigurationError
 
 __all__ = [
@@ -49,7 +50,7 @@ class SamplingStrategy(abc.ABC):
         self,
         tree: Samtree,
         k: int,
-        rng: Optional[random.Random] = None,
+        rng: RNGLike = None,
     ) -> List[int]:
         """Select up to ``k`` neighbor IDs from ``tree``."""
 
@@ -68,12 +69,12 @@ class WeightedWithReplacement(SamplingStrategy):
         self,
         tree: Samtree,
         k: int,
-        rng: Optional[random.Random] = None,
+        rng: RNGLike = None,
     ) -> List[int]:
         self._check_k(k)
         if not tree or k == 0:
             return []
-        return tree.sample_many(k, rng)
+        return tree.sample_many(k, coerce_scalar_rng(rng))
 
 
 class WeightedWithoutReplacement(SamplingStrategy):
@@ -99,11 +100,12 @@ class WeightedWithoutReplacement(SamplingStrategy):
         self,
         tree: Samtree,
         k: int,
-        rng: Optional[random.Random] = None,
+        rng: RNGLike = None,
     ) -> List[int]:
         self._check_k(k)
         if not tree or k == 0:
             return []
+        rng = coerce_scalar_rng(rng)
         want = min(k, tree.degree)
         if want == tree.degree:
             return list(tree.neighbors())
@@ -135,11 +137,12 @@ class UniformWithReplacement(SamplingStrategy):
         self,
         tree: Samtree,
         k: int,
-        rng: Optional[random.Random] = None,
+        rng: RNGLike = None,
     ) -> List[int]:
         self._check_k(k)
         if not tree or k == 0:
             return []
+        rng = coerce_scalar_rng(rng)
         return [tree.sample_uniform(rng) for _ in range(k)]
 
 
@@ -152,7 +155,7 @@ class TopKByWeight(SamplingStrategy):
         self,
         tree: Samtree,
         k: int,
-        rng: Optional[random.Random] = None,
+        rng: RNGLike = None,
     ) -> List[int]:
         self._check_k(k)
         if not tree or k == 0:

@@ -206,7 +206,7 @@ class Samtree:
     0.7
     """
 
-    __slots__ = ("config", "stats", "_root", "_size")
+    __slots__ = ("config", "stats", "_root", "_size", "_version")
 
     def __init__(
         self,
@@ -217,6 +217,7 @@ class Samtree:
         self.stats = stats if stats is not None else OpStats()
         self._root: _Node = self._new_leaf([], [])
         self._size = 0
+        self._version = 0
 
     # ------------------------------------------------------------------
     # node construction helpers
@@ -258,6 +259,19 @@ class Samtree:
             f"Samtree(n={self._size}, height={self.height}, "
             f"capacity={self.config.capacity})"
         )
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation epoch.
+
+        Bumped by *every* path that changes the stored adjacency or its
+        weights — single-edge upserts and deletes (Algorithm 2 and
+        §IV-D) and the PALM within-tree batch
+        (:func:`repro.core.tree_batch.apply_tree_batch`).  The read
+        layer (:mod:`repro.core.snapshot`) compares this counter to
+        decide whether a flat snapshot is still coherent.
+        """
+        return self._version
 
     @property
     def total_weight(self) -> float:
@@ -325,6 +339,7 @@ class Samtree:
 
     def _upsert(self, vertex_id: int, weight: float, add: bool) -> bool:
         weight = _check_weight(weight)
+        self._version += 1
         leaf, path = self._descend(vertex_id)
         idx = leaf.ids.index_of(vertex_id)
         overflow: Optional[Tuple[_Node, _Node, int]] = None
@@ -439,6 +454,7 @@ class Samtree:
         idx = leaf.ids.index_of(vertex_id)
         if idx is None:
             return False
+        self._version += 1
         removed = leaf.fstable.delete(idx)
         leaf.ids.swap_delete(idx)
         self._size -= 1

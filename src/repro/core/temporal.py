@@ -222,6 +222,19 @@ class TemporalGraphStore(GraphStoreAPI):
     ) -> List[int]:
         return self.store.sample_neighbors(src, k, rng, etype)
 
+    def sample_neighbors_uniform(self, src, k, rng=None, etype=DEFAULT_ETYPE):
+        return self.store.sample_neighbors_uniform(src, k, rng, etype)
+
+    def sample_neighbors_many(self, srcs, k, rng=None, etype=DEFAULT_ETYPE):
+        """Forward the batched read path to the wrapped store (snapshot
+        coherence is by tree version, so window evictions invalidate)."""
+        return self.store.sample_neighbors_many(srcs, k, rng, etype)
+
+    def sample_neighbors_uniform_many(
+        self, srcs, k, rng=None, etype=DEFAULT_ETYPE
+    ):
+        return self.store.sample_neighbors_uniform_many(srcs, k, rng, etype)
+
     def nbytes(self, model: MemoryModel = DEFAULT_MEMORY_MODEL) -> int:
         """Underlying store + timestamp map + calendar entries."""
         meta = len(self._last_seen) * (3 * model.id_bytes + 8)

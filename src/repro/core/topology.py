@@ -16,14 +16,23 @@ from __future__ import annotations
 
 import random
 import threading
-from typing import Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.memory import DEFAULT_MEMORY_MODEL, MemoryModel
 from repro.core.samtree import OpStats, Samtree, SamtreeConfig
+from repro.core.snapshot import (
+    RNGLike,
+    SnapshotCache,
+    coerce_scalar_rng,
+    resolve_rngs,
+)
 from repro.core.types import DEFAULT_ETYPE, GraphStoreAPI
 from repro.storage.cuckoo import CuckooHashMap
 
 __all__ = ["DynamicGraphStore"]
+
+#: Sentinel distinguishing "not passed" from "explicitly disabled".
+_DEFAULT_CACHE = object()
 
 
 class DynamicGraphStore(GraphStoreAPI):
@@ -34,6 +43,11 @@ class DynamicGraphStore(GraphStoreAPI):
     config:
         Samtree parameters (capacity ``c``, slackness ``α``, CP-IDs
         compression); shared by every per-vertex tree.
+    snapshot_cache:
+        The read-path cache serving vectorized frontier sampling
+        (:mod:`repro.core.snapshot`).  Defaults to a fresh
+        :class:`SnapshotCache` with the standard budget; pass ``None``
+        to force every draw down the exact ITS/FTS descent.
 
     Examples
     --------
@@ -46,7 +60,11 @@ class DynamicGraphStore(GraphStoreAPI):
     2
     """
 
-    def __init__(self, config: Optional[SamtreeConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[SamtreeConfig] = None,
+        snapshot_cache=_DEFAULT_CACHE,
+    ) -> None:
         self.config = config or SamtreeConfig()
         self.stats = OpStats()
         self._directory = CuckooHashMap(initial_buckets=64)
@@ -54,6 +72,10 @@ class DynamicGraphStore(GraphStoreAPI):
         # `_num_edges += d` is a non-atomic read-modify-write; PALM
         # threads mutating disjoint trees still share this counter.
         self._count_lock = threading.Lock()
+        self.snapshot_cache: Optional[SnapshotCache] = (
+            SnapshotCache() if snapshot_cache is _DEFAULT_CACHE
+            else snapshot_cache
+        )
 
     # ------------------------------------------------------------------
     # tree lookup
@@ -122,6 +144,11 @@ class DynamicGraphStore(GraphStoreAPI):
                 self._num_edges -= 1
             if not tree:
                 self._directory.delete((etype, src))
+                if self.snapshot_cache is not None:
+                    # The tree object is gone from the directory; a later
+                    # re-creation of this source must never be served its
+                    # predecessor's snapshot via the peek fast path.
+                    self.snapshot_cache.invalidate((etype, src))
         return removed
 
     def apply_source_batch(
@@ -147,6 +174,8 @@ class DynamicGraphStore(GraphStoreAPI):
             self._num_edges += tree.degree - before
         if not tree:
             self._directory.delete((etype, src))
+            if self.snapshot_cache is not None:
+                self.snapshot_cache.invalidate((etype, src))
         return outcomes
 
     # ------------------------------------------------------------------
@@ -201,31 +230,135 @@ class DynamicGraphStore(GraphStoreAPI):
         self,
         src: int,
         k: int,
-        rng: Optional[random.Random] = None,
+        rng: RNGLike = None,
         etype: int = DEFAULT_ETYPE,
     ) -> List[int]:
         tree = self._tree(src, etype)
         if tree is None or not tree:
             return []
-        return tree.sample_many(k, rng)
+        return tree.sample_many(k, coerce_scalar_rng(rng))
 
     def sample_neighbors_uniform(
         self,
         src: int,
         k: int,
-        rng: Optional[random.Random] = None,
+        rng: RNGLike = None,
         etype: int = DEFAULT_ETYPE,
     ) -> List[int]:
         """Unweighted variant (each neighbor equally likely)."""
         tree = self._tree(src, etype)
         if tree is None or not tree:
             return []
+        rng = coerce_scalar_rng(rng)
         return [tree.sample_uniform(rng) for _ in range(k)]
+
+    def _group_positions(
+        self, srcs: Sequence[int]
+    ) -> "Dict[int, List[int]]":
+        """Input positions of each *distinct* source.
+
+        The batched read path resolves each source's tree exactly once
+        per batch (directory lookup + degree check + snapshot probe),
+        instead of once per occurrence per operation — GNN frontiers
+        repeat hot vertices heavily.
+        """
+        positions: Dict[int, List[int]] = {}
+        for i, src in enumerate(srcs):
+            positions.setdefault(int(src), []).append(i)
+        return positions
+
+    def sample_neighbors_many(
+        self,
+        srcs: Sequence[int],
+        k: int,
+        rng: RNGLike = None,
+        etype: int = DEFAULT_ETYPE,
+    ) -> List[Sequence[int]]:
+        """Vectorized frontier sampling (the tentpole read path).
+
+        Every distinct source resolves its samtree once; hot trees are
+        served from a flat :class:`~repro.core.snapshot.TreeSnapshot`
+        with one ``Generator.random`` block + one ``searchsorted`` for
+        *all* of that source's draws in the batch, and cold or
+        just-mutated trees fall back to the exact ITS/FTS descent —
+        distributionally identical by construction.
+        """
+        srcs = list(srcs)
+        scalar_rng, gen = resolve_rngs(rng)
+        cache = self.snapshot_cache
+        out: List[Sequence[int]] = [()] * len(srcs)
+        # One uniform block for the whole frontier: every snapshot-served
+        # source slices its rows out of it (one Generator.random call per
+        # batch instead of one per distinct source).
+        uniforms = gen.random((len(srcs), k)) if cache is not None else None
+        for src, positions in self._group_positions(srcs).items():
+            key = (etype, src)
+            # Fresh hit: coherence is checked against the snapshot's own
+            # tree reference — no directory lookup on the hot path.
+            snapshot = cache.peek(key) if cache is not None else None
+            if snapshot is None:
+                tree = self._tree(src, etype)
+                if tree is None or not tree:
+                    for i in positions:
+                        out[i] = []
+                    continue
+                snapshot = cache.get(key, tree) if cache is not None else None
+            if snapshot is not None:
+                if len(positions) == 1:
+                    # Basic indexing: a view, no row-gather copy.
+                    i = positions[0]
+                    out[i] = snapshot.sample_from_uniforms(uniforms[i])
+                else:
+                    rows = snapshot.sample_from_uniforms(uniforms[positions])
+                    for i, row in zip(positions, rows):
+                        out[i] = row
+            else:
+                for i in positions:
+                    out[i] = tree.sample_many(k, scalar_rng)
+        return out
+
+    def sample_neighbors_uniform_many(
+        self,
+        srcs: Sequence[int],
+        k: int,
+        rng: RNGLike = None,
+        etype: int = DEFAULT_ETYPE,
+    ) -> List[Sequence[int]]:
+        """Batched uniform sampling through the same snapshot read path."""
+        srcs = list(srcs)
+        scalar_rng, gen = resolve_rngs(rng)
+        cache = self.snapshot_cache
+        out: List[Sequence[int]] = [()] * len(srcs)
+        uniforms = gen.random((len(srcs), k)) if cache is not None else None
+        for src, positions in self._group_positions(srcs).items():
+            key = (etype, src)
+            snapshot = cache.peek(key) if cache is not None else None
+            if snapshot is None:
+                tree = self._tree(src, etype)
+                if tree is None or not tree:
+                    for i in positions:
+                        out[i] = []
+                    continue
+                snapshot = cache.get(key, tree) if cache is not None else None
+            if snapshot is not None:
+                if len(positions) == 1:
+                    i = positions[0]
+                    out[i] = snapshot.sample_uniform_from_uniforms(uniforms[i])
+                else:
+                    rows = snapshot.sample_uniform_from_uniforms(
+                        uniforms[positions]
+                    )
+                    for i, row in zip(positions, rows):
+                        out[i] = row
+            else:
+                for i in positions:
+                    out[i] = [tree.sample_uniform(scalar_rng) for _ in range(k)]
+        return out
 
     def sample_vertices(
         self,
         k: int,
-        rng: Optional[random.Random] = None,
+        rng: RNGLike = None,
         etype: int = DEFAULT_ETYPE,
     ) -> List[int]:
         """Node sampling (paper §III): ``k`` source vertices, degree-
@@ -238,7 +371,7 @@ class DynamicGraphStore(GraphStoreAPI):
                 weights.append(float(self.degree(src, etype)))
         if not pool:
             return []
-        rng = rng or random
+        rng = coerce_scalar_rng(rng) or random
         return rng.choices(pool, weights=weights, k=k)
 
     # ------------------------------------------------------------------

@@ -56,6 +56,9 @@ def apply_tree_batch(tree: Samtree, ops: Sequence[TreeOp]) -> List[bool]:
             raise ConfigurationError(
                 f"unknown tree op kind {kind!r}; expected one of {_KINDS}"
             )
+    # One epoch bump per batch: every snapshot of this tree is stale the
+    # moment the batch starts mutating leaves (see repro.core.snapshot).
+    tree._version += 1
 
     # ------------------------------------------------------------------
     # Phase 1+2: one descent per op, grouped per leaf.  Leaf contents

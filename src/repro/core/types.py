@@ -11,10 +11,12 @@ from __future__ import annotations
 import abc
 import enum
 import random
+import sys
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Optional, Tuple
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.memory import DEFAULT_MEMORY_MODEL, MemoryModel
+from repro.core.snapshot import RNGLike, coerce_scalar_rng
 
 __all__ = [
     "DEFAULT_ETYPE",
@@ -27,8 +29,13 @@ __all__ = [
 #: Edge type used when the graph is homogeneous.
 DEFAULT_ETYPE = 0
 
+#: ``slots=True`` (3.10+) removes the per-instance ``__dict__`` from the
+#: per-edge record types — millions of them are alive during a stream
+#: replay, so the dict header is the dominant overhead.
+_SLOTTED = {"slots": True} if sys.version_info >= (3, 10) else {}
 
-@dataclass(frozen=True)
+
+@dataclass(frozen=True, **_SLOTTED)
 class Edge:
     """A weighted directed edge ``e(src, dst, weight)`` of type ``etype``."""
 
@@ -46,7 +53,7 @@ class OpKind(enum.Enum):
     DELETE = "delete"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **_SLOTTED)
 class EdgeOp:
     """One dynamic-update operation against a topology store."""
 
@@ -160,24 +167,78 @@ class GraphStoreAPI(abc.ABC):
         self,
         src: int,
         k: int,
-        rng: Optional[random.Random] = None,
+        rng: RNGLike = None,
         etype: int = DEFAULT_ETYPE,
     ) -> List[int]:
         """Draw ``k`` weighted neighbor samples (with replacement).
 
         Returns an empty list when ``src`` has no out-edges, matching the
-        padding convention of the GNN sampler layer.
+        padding convention of the GNN sampler layer.  ``rng`` may be a
+        ``random.Random``, a ``numpy.random.Generator``, an ``int`` seed,
+        or ``None``.
         """
+
+    def sample_neighbors_uniform(
+        self,
+        src: int,
+        k: int,
+        rng: RNGLike = None,
+        etype: int = DEFAULT_ETYPE,
+    ) -> List[int]:
+        """Draw ``k`` *uniform* neighbor samples (with replacement).
+
+        Generic fallback over :meth:`neighbors`; stores with a native
+        uniform path (the samtree's count descent) override this.
+        """
+        ids = [dst for dst, _ in self.neighbors(src, etype)]
+        if not ids:
+            return []
+        rng = coerce_scalar_rng(rng) or random
+        n = len(ids)
+        return [ids[rng.randrange(n)] for _ in range(k)]
+
+    def sample_neighbors_many(
+        self,
+        srcs: Sequence[int],
+        k: int,
+        rng: RNGLike = None,
+        etype: int = DEFAULT_ETYPE,
+    ) -> List[Sequence[int]]:
+        """Batched weighted sampling: one row of ``k`` draws per source.
+
+        This is the read path the operator layer
+        (:mod:`repro.gnn.samplers`) calls for whole frontiers.  The
+        generic fallback is a per-source loop; stores with a vectorized
+        read path (:class:`~repro.core.topology.DynamicGraphStore` via
+        its snapshot cache, the distributed client via one RPC per
+        shard) override it.  Rows may be lists **or** int64 arrays;
+        sources without out-edges yield empty rows.
+        """
+        rng = coerce_scalar_rng(rng)
+        return [self.sample_neighbors(s, k, rng, etype) for s in srcs]
+
+    def sample_neighbors_uniform_many(
+        self,
+        srcs: Sequence[int],
+        k: int,
+        rng: RNGLike = None,
+        etype: int = DEFAULT_ETYPE,
+    ) -> List[Sequence[int]]:
+        """Batched uniform sampling (see :meth:`sample_neighbors_many`)."""
+        rng = coerce_scalar_rng(rng)
+        return [self.sample_neighbors_uniform(s, k, rng, etype) for s in srcs]
 
     def sample_neighbors_batch(
         self,
         srcs: Iterable[int],
         k: int,
-        rng: Optional[random.Random] = None,
+        rng: RNGLike = None,
         etype: int = DEFAULT_ETYPE,
     ) -> List[List[int]]:
-        """Vector form of :meth:`sample_neighbors`."""
-        return [self.sample_neighbors(s, k, rng, etype) for s in srcs]
+        """Compatibility shim over :meth:`sample_neighbors_many` that
+        guarantees plain ``List[List[int]]`` rows."""
+        rows = self.sample_neighbors_many(list(srcs), k, rng, etype)
+        return [[int(v) for v in row] for row in rows]
 
     # -- accounting -------------------------------------------------------
     @abc.abstractmethod

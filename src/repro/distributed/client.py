@@ -9,13 +9,13 @@ message per shard per batch) and merged back in input order.
 
 from __future__ import annotations
 
-import random
 from collections import defaultdict
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.memory import DEFAULT_MEMORY_MODEL, MemoryModel
+from repro.core.snapshot import RNGLike
 from repro.core.types import DEFAULT_ETYPE, EdgeOp, GraphStoreAPI, OpKind
 from repro.distributed.partition import Partitioner
 from repro.distributed.rpc import NetworkModel
@@ -141,7 +141,7 @@ class GraphClient(GraphStoreAPI):
         self,
         src: int,
         k: int,
-        rng: Optional[random.Random] = None,
+        rng: RNGLike = None,
         etype: int = DEFAULT_ETYPE,
     ) -> List[int]:
         self._account(_SAMPLE_REQ_BYTES + k * _SAMPLE_RESP_BYTES)
@@ -149,29 +149,60 @@ class GraphClient(GraphStoreAPI):
             [src], k, rng, etype
         )[0]
 
-    def sample_neighbors_batch(
+    def _sample_many_routed(
         self,
         srcs: Sequence[int],
         k: int,
-        rng: Optional[random.Random] = None,
-        etype: int = DEFAULT_ETYPE,
-    ) -> List[List[int]]:
+        rng: RNGLike,
+        etype: int,
+        endpoint: str,
+    ) -> List[Sequence[int]]:
+        """Group a frontier per owning shard, issue **one** RPC per shard
+        (not one per vertex), and merge rows back in input order.
+
+        Each shard answers its whole sub-batch through the store's
+        vectorized read path, so the per-message payload grows with the
+        sub-batch while the message count stays at the shard count —
+        exactly the incentive the network model rewards.
+        """
         srcs = list(srcs)
         per_shard: Dict[int, List[int]] = defaultdict(list)
         for i, src in enumerate(srcs):
             per_shard[self.partitioner.shard_for(src)].append(i)
-        out: List[List[int]] = [[] for _ in srcs]
+        out: List[Sequence[int]] = [[] for _ in srcs]
         for shard, positions in per_shard.items():
             shard_srcs = [srcs[i] for i in positions]
             self._account(
                 len(shard_srcs) * (_SAMPLE_REQ_BYTES + k * _SAMPLE_RESP_BYTES)
             )
-            results = self.servers[shard].sample_neighbors_batch(
+            results = getattr(self.servers[shard], endpoint)(
                 shard_srcs, k, rng, etype
             )
             for i, res in zip(positions, results):
                 out[i] = res
         return out
+
+    def sample_neighbors_many(
+        self,
+        srcs: Sequence[int],
+        k: int,
+        rng: RNGLike = None,
+        etype: int = DEFAULT_ETYPE,
+    ) -> List[Sequence[int]]:
+        return self._sample_many_routed(
+            srcs, k, rng, etype, "sample_neighbors_many"
+        )
+
+    def sample_neighbors_uniform_many(
+        self,
+        srcs: Sequence[int],
+        k: int,
+        rng: RNGLike = None,
+        etype: int = DEFAULT_ETYPE,
+    ) -> List[Sequence[int]]:
+        return self._sample_many_routed(
+            srcs, k, rng, etype, "sample_neighbors_uniform_many"
+        )
 
     # ------------------------------------------------------------------
     # attributes (vertex features live on the shard that owns the vertex)

@@ -9,7 +9,6 @@ fan-out.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
@@ -17,6 +16,7 @@ import numpy as np
 
 from repro.core.memory import DEFAULT_MEMORY_MODEL, MemoryModel
 from repro.core.samtree import SamtreeConfig
+from repro.core.snapshot import RNGLike
 from repro.core.topology import DynamicGraphStore
 from repro.core.types import DEFAULT_ETYPE, EdgeOp, GraphStoreAPI
 from repro.storage.attributes import AttributeStore
@@ -68,16 +68,41 @@ class GraphServer:
     # ------------------------------------------------------------------
     # sampling path
     # ------------------------------------------------------------------
+    def sample_neighbors_many(
+        self,
+        srcs: Sequence[int],
+        k: int,
+        rng: RNGLike = None,
+        etype: int = DEFAULT_ETYPE,
+    ):
+        """One batched request: the shard's store answers the whole
+        source list through its vectorized read path (snapshot cache on
+        the samtree store, loop fallback elsewhere)."""
+        self.stats.sample_requests += 1
+        return self.store.sample_neighbors_many(srcs, k, rng, etype)
+
+    def sample_neighbors_uniform_many(
+        self,
+        srcs: Sequence[int],
+        k: int,
+        rng: RNGLike = None,
+        etype: int = DEFAULT_ETYPE,
+    ):
+        """Uniform variant of :meth:`sample_neighbors_many`."""
+        self.stats.sample_requests += 1
+        return self.store.sample_neighbors_uniform_many(srcs, k, rng, etype)
+
     def sample_neighbors_batch(
         self,
         srcs: Sequence[int],
         k: int,
-        rng: Optional[random.Random] = None,
+        rng: RNGLike = None,
         etype: int = DEFAULT_ETYPE,
     ) -> List[List[int]]:
-        """Weighted neighbor samples for sources owned by this shard."""
-        self.stats.sample_requests += 1
-        return [self.store.sample_neighbors(s, k, rng, etype) for s in srcs]
+        """Weighted neighbor samples for sources owned by this shard
+        (compatibility form: plain ``List[List[int]]`` rows)."""
+        rows = self.sample_neighbors_many(srcs, k, rng, etype)
+        return [[int(v) for v in row] for row in rows]
 
     def neighbors_batch(
         self, srcs: Sequence[int], etype: int = DEFAULT_ETYPE

@@ -18,10 +18,11 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Set, Tuple
+from typing import List, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro.core.snapshot import RNGLike, coerce_scalar_rng
 from repro.core.types import DEFAULT_ETYPE, GraphStoreAPI
 from repro.errors import ConfigurationError
 
@@ -63,7 +64,7 @@ class MiniBatchBlocks:
 def sample_seed_nodes(
     store: GraphStoreAPI,
     k: int,
-    rng: Optional[random.Random] = None,
+    rng: RNGLike = None,
     etype: int = DEFAULT_ETYPE,
 ) -> np.ndarray:
     """Node sampling: ``k`` seeds drawn from the graph's source vertices.
@@ -80,7 +81,7 @@ def sample_seed_nodes(
         if not pool:
             seeds = []
         else:
-            rng = rng or random
+            rng = coerce_scalar_rng(rng) or random
             seeds = [pool[rng.randrange(len(pool))] for _ in range(k)]
     return np.asarray(seeds, dtype=np.int64)
 
@@ -89,7 +90,7 @@ def sample_neighbor_matrix(
     store: GraphStoreAPI,
     srcs: Sequence[int],
     fanout: int,
-    rng: Optional[random.Random] = None,
+    rng: RNGLike = None,
     etype: int = DEFAULT_ETYPE,
 ) -> np.ndarray:
     """Neighbor sampling: a dense ``(len(srcs), fanout)`` index matrix.
@@ -97,13 +98,21 @@ def sample_neighbor_matrix(
     Each row holds ``fanout`` weighted draws (with replacement) from the
     corresponding source's out-neighbors; sources without out-edges are
     padded with themselves.
+
+    The whole frontier goes through the store's *batched* read path
+    (:meth:`GraphStoreAPI.sample_neighbors_many`): each distinct source
+    resolves its tree once per batch — degree check and draws share the
+    lookup — and stores with a snapshot cache answer every row with
+    vectorized RNG instead of per-draw descents.
     """
     if fanout < 1:
         raise ConfigurationError(f"fanout must be >= 1, got {fanout}")
-    rows = store.sample_neighbors_batch(srcs, fanout, rng, etype)
+    rows = store.sample_neighbors_many(srcs, fanout, rng, etype)
     out = np.empty((len(rows), fanout), dtype=np.int64)
     for i, (src, row) in enumerate(zip(srcs, rows)):
-        out[i] = row if row else [int(src)] * fanout
+        # Rows may be lists (exact path) or int64 arrays (snapshot path);
+        # test emptiness by length, never truthiness.
+        out[i] = row if len(row) else [int(src)] * fanout
     return out
 
 
@@ -111,13 +120,15 @@ def sample_blocks(
     store: GraphStoreAPI,
     seeds: Sequence[int],
     fanouts: Sequence[int],
-    rng: Optional[random.Random] = None,
+    rng: RNGLike = None,
     etype: int = DEFAULT_ETYPE,
 ) -> MiniBatchBlocks:
     """Multi-hop expansion for mini-batch training (K-hop sampling).
 
     Level ``d + 1`` is the flattened neighbor matrix of level ``d``; the
     result feeds :meth:`repro.gnn.models.GraphSAGE.forward` directly.
+    Every hop is one batched ``sample_neighbors_many`` call, so the
+    whole frontier is drawn with vectorized RNG per hot tree.
     """
     levels = [np.asarray(list(seeds), dtype=np.int64)]
     for fanout in fanouts:
