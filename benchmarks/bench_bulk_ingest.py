@@ -1,0 +1,302 @@
+"""Per-edge vs columnar bulk ingestion: the write-path engine's win.
+
+Measures the scalar write path (one ``add_edge`` / ``update_edge`` /
+``remove_edge`` call per operation, one descent per call) against the
+columnar path (``bulk_load`` / ``apply_edge_batch``: one lexsort per
+batch, bottom-up O(n) samtree builds, last-wins duplicate folding) on a
+zipf-skewed synthetic edge list — a few hub sources own most of the
+edges, the long tail owns small adjacencies, like a real power-law
+graph.
+
+Two phases:
+
+* ``build``  — cold-start graph construction from an edge list.  The
+  acceptance criterion targets >= 5x over the per-edge loop at >= 100k
+  edges.
+* ``update`` — steady-state dynamic churn: mixed insert/update/delete
+  batches against an existing graph, per-op replay vs one
+  ``apply_edge_batch`` call per batch.
+
+Emits JSON (``--out``, default stdout); ``--smoke`` shrinks everything
+for CI.  The checked-in record is ``BENCH_bulk_ingest.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.ingest import (
+    OP_DELETE,
+    OP_INSERT,
+    OP_UPDATE,
+    EdgeBatch,
+)
+from repro.core.samtree import SamtreeConfig
+from repro.core.topology import DynamicGraphStore
+
+SEED = 0xB0
+
+#: (src, dst, weight) columns of a synthetic zipf-skewed edge list.
+Columns = Tuple[np.ndarray, np.ndarray, np.ndarray]
+
+
+def make_edge_columns(
+    num_edges: int, num_sources: int, seed: int = SEED
+) -> Columns:
+    """Zipf-skewed sources (a=1.6, clipped), uniform dsts, spread weights."""
+    rng = np.random.default_rng(seed)
+    src = np.minimum(
+        rng.zipf(1.6, size=num_edges), num_sources
+    ).astype(np.int64) - 1
+    dst = rng.integers(
+        num_sources, num_sources * 20, size=num_edges, dtype=np.int64
+    )
+    weight = rng.random(num_edges) * 4.0 + 0.25
+    return src, dst, weight
+
+
+def make_churn_batches(
+    src: np.ndarray,
+    dst: np.ndarray,
+    num_batches: int,
+    batch_size: int,
+    seed: int = SEED + 1,
+) -> List[EdgeBatch]:
+    """Mixed churn referencing the built graph: 50% fresh inserts,
+    30% weight updates of existing edges, 20% deletes."""
+    rng = np.random.default_rng(seed)
+    n_src_space = int(src.max()) + 1
+    batches = []
+    for b in range(num_batches):
+        pick = rng.integers(0, src.size, size=batch_size)
+        op = rng.choice(
+            [OP_INSERT, OP_UPDATE, OP_DELETE],
+            size=batch_size,
+            p=[0.5, 0.3, 0.2],
+        ).astype(np.uint8)
+        b_src = src[pick].copy()
+        b_dst = dst[pick].copy()
+        # Fresh inserts go to a disjoint dst range so they are real
+        # insertions, not upserts of existing edges.
+        ins = op == OP_INSERT
+        b_dst[ins] = rng.integers(
+            n_src_space * 100 + b * batch_size,
+            n_src_space * 100 + (b + 1) * batch_size,
+            size=int(ins.sum()),
+            dtype=np.int64,
+        )
+        w = rng.random(batch_size) * 3.0 + 0.1
+        batches.append(EdgeBatch(b_src, b_dst, w, None, op))
+    return batches
+
+
+def _time(fn, repeats: int) -> float:
+    """Best-of-N wall time of ``fn()`` (seconds)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_build(
+    columns: Columns, config: SamtreeConfig, repeats: int
+) -> Dict:
+    src, dst, weight = columns
+    src_l = src.tolist()
+    dst_l = dst.tolist()
+    w_l = weight.tolist()
+
+    def per_edge() -> DynamicGraphStore:
+        store = DynamicGraphStore(config)
+        add = store.add_edge
+        for s, d, w in zip(src_l, dst_l, w_l):
+            add(s, d, w)
+        return store
+
+    def bulk() -> DynamicGraphStore:
+        store = DynamicGraphStore(config)
+        store.bulk_load(src, dst, weight)
+        return store
+
+    t_per_edge = _time(per_edge, repeats)
+    t_bulk = _time(bulk, repeats)
+
+    # Sanity: both builds describe the same graph.
+    a, b = per_edge(), bulk()
+    assert a.num_edges == b.num_edges, (a.num_edges, b.num_edges)
+
+    n = src.size
+    return {
+        "per_edge_s": t_per_edge,
+        "bulk_s": t_bulk,
+        "per_edge_edges_per_s": n / t_per_edge,
+        "bulk_edges_per_s": n / t_bulk,
+        "speedup": t_per_edge / t_bulk,
+        "num_edges_after_dedup": a.num_edges,
+    }
+
+
+def bench_update(
+    columns: Columns,
+    config: SamtreeConfig,
+    num_batches: int,
+    batch_size: int,
+    repeats: int,
+) -> Dict:
+    src, dst, weight = columns
+    batches = make_churn_batches(src, dst, num_batches, batch_size)
+
+    def fresh() -> DynamicGraphStore:
+        store = DynamicGraphStore(config)
+        store.bulk_load(src, dst, weight)
+        return store
+
+    def per_op() -> None:
+        store = stores.pop()
+        for batch in batches:
+            for s, d, w, o in zip(
+                batch.src.tolist(),
+                batch.dst.tolist(),
+                batch.weight.tolist(),
+                batch.op.tolist(),
+            ):
+                if o == OP_INSERT:
+                    store.add_edge(s, d, w)
+                elif o == OP_UPDATE:
+                    store.update_edge(s, d, w)
+                else:
+                    store.remove_edge(s, d)
+
+    def batched() -> None:
+        store = stores.pop()
+        for batch in batches:
+            store.apply_edge_batch(batch)
+
+    # Each trial mutates, so pre-build one fresh store per trial
+    # (construction stays outside the timed region).
+    stores = [fresh() for _ in range(repeats)]
+    t_per_op = _time(per_op, repeats)
+    stores = [fresh() for _ in range(repeats)]
+    t_batched = _time(batched, repeats)
+
+    total_ops = num_batches * batch_size
+    return {
+        "num_batches": num_batches,
+        "batch_size": batch_size,
+        "per_op_s": t_per_op,
+        "batched_s": t_batched,
+        "per_op_ops_per_s": total_ops / t_per_op,
+        "batched_ops_per_s": total_ops / t_batched,
+        "speedup": t_per_op / t_batched,
+    }
+
+
+def run_benchmark(
+    num_edges: int,
+    num_sources: int,
+    num_batches: int,
+    batch_size: int,
+    repeats: int,
+) -> Dict:
+    columns = make_edge_columns(num_edges, num_sources)
+    results = {
+        "config": {
+            "num_edges": num_edges,
+            "num_sources": num_sources,
+            "capacity": 256,
+            "repeats": repeats,
+            "seed": SEED,
+        },
+        "build": {},
+        "update": {},
+    }
+    for compress in (True, False):
+        config = SamtreeConfig(capacity=256, compress=compress)
+        key = "compress_on" if compress else "compress_off"
+        results["build"][key] = bench_build(columns, config, repeats)
+    results["update"] = bench_update(
+        columns,
+        SamtreeConfig(capacity=256, compress=True),
+        num_batches,
+        batch_size,
+        repeats,
+    )
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny sizes for CI: checks the machinery, not the numbers",
+    )
+    parser.add_argument(
+        "--out", default=None, help="write JSON here (default: stdout)"
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        results = run_benchmark(
+            num_edges=5_000,
+            num_sources=200,
+            num_batches=2,
+            batch_size=500,
+            repeats=1,
+        )
+    else:
+        results = run_benchmark(
+            num_edges=200_000,
+            num_sources=4_000,
+            num_batches=8,
+            batch_size=10_000,
+            repeats=3,
+        )
+    results["mode"] = "smoke" if args.smoke else "full"
+
+    payload = json.dumps(results, indent=2, sort_keys=True)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(payload + "\n")
+    else:
+        print(payload)
+
+    build = results["build"]["compress_on"]["speedup"]
+    update = results["update"]["speedup"]
+    print(
+        f"[bench_bulk_ingest] build speedup {build:.1f}x "
+        f"(compress on), update speedup {update:.1f}x",
+        file=sys.stderr,
+    )
+    if not args.smoke:
+        ok = True
+        if build < 5.0:
+            print(
+                "[bench_bulk_ingest] FAIL: build speedup below the 5x "
+                "acceptance bar",
+                file=sys.stderr,
+            )
+            ok = False
+        if update <= 1.0:
+            print(
+                "[bench_bulk_ingest] FAIL: batched updates no faster "
+                "than per-op replay",
+                file=sys.stderr,
+            )
+            ok = False
+        if not ok:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -96,6 +96,7 @@ def build_store(
     memory_budget: Optional[int] = None,
     model: MemoryModel = DEFAULT_MEMORY_MODEL,
     enforce_cluster_budget_for: Optional[str] = None,
+    use_bulk: bool = False,
 ) -> BuildResult:
     """Dynamically insert every dataset edge (Figure 8's workload).
 
@@ -104,13 +105,26 @@ def build_store(
     instead aborts when the *full-scale extrapolated* build peak exceeds
     the paper's cluster budget — reproducing the "o.o.m" entries the way
     they happen in production: partway through loading.
+
+    ``use_bulk=True`` streams the same batches columnar through the
+    store's bulk ingestion path (``bulk_load``) instead of one
+    ``apply`` per edge — same final state, the Fig. 8 comparison axis
+    of the bulk-ingestion benchmark.
     """
     stream = EdgeStream(data)
     num_ops = 0
     start = time.perf_counter()
-    for batch in stream.build_batches(batch_size):
-        for op in batch:
-            store.apply(op)
+    batches = (
+        stream.build_batches_columnar(batch_size)
+        if use_bulk
+        else stream.build_batches(batch_size)
+    )
+    for batch in batches:
+        if use_bulk:
+            store.bulk_load(batch)
+        else:
+            for op in batch:
+                store.apply(op)
         num_ops += len(batch)
         oom = False
         if memory_budget is not None:
@@ -144,10 +158,26 @@ def run_update_batches(
     batch_size: int,
     num_batches: int,
     mix: Tuple[float, float, float] = (0.5, 0.3, 0.2),
+    use_bulk: bool = False,
 ) -> float:
-    """Apply churn batches; returns mean seconds per batch (Figure 9)."""
+    """Apply churn batches; returns mean seconds per batch (Figure 9).
+
+    ``use_bulk=True`` applies each batch through the columnar
+    ``apply_edge_batch`` path (one lexsort + per-tree rebuild/PALM
+    dispatch) instead of one ``apply`` per op; only application time is
+    measured either way.
+    """
     total = 0.0
     count = 0
+    if use_bulk:
+        for cbatch in stream.churn_batches_columnar(
+            batch_size, num_batches, mix
+        ):
+            start = time.perf_counter()
+            store.apply_edge_batch(cbatch)
+            total += time.perf_counter() - start
+            count += 1
+        return total / count if count else 0.0
     for batch in stream.churn_batches(batch_size, num_batches, mix):
         start = time.perf_counter()
         for op in batch:

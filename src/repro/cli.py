@@ -41,11 +41,16 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 def _cmd_build(args: argparse.Namespace) -> int:
     data = load_dataset(args.dataset, scale=args.scale)
     store = make_store(args.system, capacity=args.capacity, alpha=args.alpha)
+    mode = "per-op" if args.per_op else "bulk"
+    scale = "default" if args.scale is None else f"1/{args.scale:g}"
     print(
-        f"building {args.dataset} (scale 1/{args.scale:g}, "
-        f"{data.num_edges:,} edge inserts) into {args.system}..."
+        f"building {args.dataset} (scale {scale}, "
+        f"{data.num_edges:,} edge inserts) into {args.system} "
+        f"[{mode} ingestion]..."
     )
-    result = build_store(store, data, batch_size=args.batch_size)
+    result = build_store(
+        store, data, batch_size=args.batch_size, use_bulk=not args.per_op
+    )
     print(
         f"  built in {result.seconds:.2f}s "
         f"({result.ops_per_second:,.0f} edges/s)"
@@ -132,6 +137,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_build.add_argument("--capacity", type=int, default=256)
     p_build.add_argument("--alpha", type=int, default=0)
     p_build.add_argument("--batch-size", type=int, default=4096)
+    p_build.add_argument(
+        "--per-op",
+        action="store_true",
+        help="ingest one edge at a time instead of the default columnar "
+        "bulk path (same final store; used for comparisons)",
+    )
     p_build.add_argument("--output", help="snapshot path to write")
     p_build.set_defaults(func=_cmd_build)
 

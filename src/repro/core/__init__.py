@@ -11,9 +11,22 @@ from repro.core.compression import (
 from repro.core.cstable import CSTable
 from repro.core.diff import apply_diff, diff_stores, edge_set, stores_equal
 from repro.core.fenwick import FSTable
+from repro.core.ingest import (
+    OP_DELETE,
+    OP_INSERT,
+    OP_UPDATE,
+    EdgeBatch,
+    IngestStats,
+    fold_run,
+)
 from repro.core.memory import DEFAULT_MEMORY_MODEL, MemoryModel, humanize_bytes
 from repro.core.metrics import InstrumentedStore, LatencyHistogram, StoreMetrics
-from repro.core.samtree import OpStats, Samtree, SamtreeConfig
+from repro.core.samtree import (
+    BULK_FILL_FRACTION,
+    OpStats,
+    Samtree,
+    SamtreeConfig,
+)
 from repro.core.snapshot import (
     SnapshotCache,
     SnapshotCacheStats,
@@ -47,6 +60,13 @@ __all__ = [
     "edge_set",
     "stores_equal",
     "FSTable",
+    "EdgeBatch",
+    "IngestStats",
+    "fold_run",
+    "OP_INSERT",
+    "OP_UPDATE",
+    "OP_DELETE",
+    "BULK_FILL_FRACTION",
     "MemoryModel",
     "DEFAULT_MEMORY_MODEL",
     "humanize_bytes",

@@ -35,6 +35,7 @@ __all__ = [
     "CompressedIDList",
     "PlainIDList",
     "make_id_list",
+    "make_id_list_from_array",
     "common_prefix_length",
 ]
 
@@ -99,6 +100,53 @@ class CompressedIDList:
             id_list = [_check_id(v) for v in ids]
             if id_list:
                 self._repack(id_list)
+
+    @classmethod
+    def from_array(cls, ids) -> "CompressedIDList":
+        """Build from a numpy array in one vectorized pass.
+
+        The bulk ingestion tier packs thousands of leaves per call; this
+        constructor views the IDs as big-endian byte rows, finds the
+        widest shared prefix with one column-wise comparison against the
+        first row, and slices all suffixes out with a single reshape —
+        no per-ID Python loop.  The result is byte-identical to
+        ``CompressedIDList(list(ids))``.
+        """
+        import numpy as np
+
+        arr = np.asarray(ids, dtype=np.int64)
+        n = int(arr.size)
+        out = cls()
+        if n == 0:
+            return out
+        if bool((arr < 0).any()):
+            raise InvalidWeightError(
+                f"vertex IDs must fit in {8 * ID_BYTES} unsigned bits, "
+                f"got {int(arr.min())}"
+            )
+        be = (
+            arr.astype(">u8")
+            .view(np.uint8)
+            .reshape(n, ID_BYTES)
+        )
+        eq = (be == be[0]).all(axis=0)
+        raw = ID_BYTES
+        for j in range(ID_BYTES):
+            if not eq[j]:
+                raw = j
+                break
+        z = _snap_prefix_length(min(raw, ID_BYTES - 1))
+        width = ID_BYTES - z
+        out._z = z
+        out._prefix = be[0, :z].tobytes()
+        out._prefix_int = int.from_bytes(
+            out._prefix + b"\x00" * width, "big"
+        )
+        out._suffixes = bytearray(
+            np.ascontiguousarray(be[:, z:]).tobytes()
+        )
+        out._n = n
+        return out
 
     # ------------------------------------------------------------------
     # internal helpers
@@ -288,6 +336,21 @@ class PlainIDList:
     def __init__(self, ids: Optional[Iterable[int]] = None) -> None:
         self._ids: List[int] = [_check_id(v) for v in ids] if ids else []
 
+    @classmethod
+    def from_array(cls, ids) -> "PlainIDList":
+        """Vectorized construction (validation in one numpy pass)."""
+        import numpy as np
+
+        arr = np.asarray(ids, dtype=np.int64)
+        out = cls()
+        if arr.size and bool((arr < 0).any()):
+            raise InvalidWeightError(
+                f"vertex IDs must fit in {8 * ID_BYTES} unsigned bits, "
+                f"got {int(arr.min())}"
+            )
+        out._ids = arr.tolist()
+        return out
+
     def __len__(self) -> int:
         return len(self._ids)
 
@@ -362,3 +425,10 @@ def make_id_list(
 ):
     """Factory: a compressed or plain ID list behind one interface."""
     return CompressedIDList(ids) if compress else PlainIDList(ids)
+
+
+def make_id_list_from_array(compress: bool, ids):
+    """Array-input factory (the bulk builder's vectorized leaf packer)."""
+    if compress:
+        return CompressedIDList.from_array(ids)
+    return PlainIDList.from_array(ids)

@@ -92,7 +92,13 @@ class FSTable:
     # ------------------------------------------------------------------
     def _build(self, weights: Sequence[float]) -> None:
         """O(n) bulk construction: start from raw weights then push each
-        entry into its parent, the standard linear Fenwick build."""
+        entry into its parent, the standard linear Fenwick build.
+
+        Every element is visited exactly once and charged one addition
+        into its unique parent ``i + LSB(i + 1)`` — linear in ``n``, in
+        contrast to the ``O(n log n)`` insert-loop (`append` per
+        element).  ``to_weights`` is the exact inverse pass.
+        """
         tree = [_validate_weight(w) for w in weights]
         n = len(tree)
         for i in range(n):
@@ -105,6 +111,45 @@ class FSTable:
     def from_weights(cls, weights: Iterable[float]) -> "FSTable":
         """Build an FSTable from an iterable of raw weights in ``O(n)``."""
         return cls(weights)
+
+    @classmethod
+    def from_array(cls, weights) -> "FSTable":
+        """Vectorized O(n) construction from a numpy weight array.
+
+        Runs the same child-propagation build as :meth:`_build` but one
+        Fenwick *level* at a time — all elements whose entry covers a
+        range of ``step`` elements push into their parents in one
+        vectorized add — so the Python-level work is ``O(log n)`` array
+        ops instead of ``O(n)`` scalar iterations.  This is the leaf
+        constructor of the bulk ingestion tier
+        (:meth:`repro.core.samtree.Samtree.bulk_build`).
+        """
+        import numpy as np
+
+        arr = np.asarray(weights, dtype=np.float64)
+        if arr.ndim != 1:
+            raise InvalidWeightError(
+                f"weights must be one-dimensional, got shape {arr.shape}"
+            )
+        n = int(arr.size)
+        table = cls()
+        if n == 0:
+            return table
+        if not bool(np.isfinite(arr).all()) or bool((arr < 0.0).any()):
+            bad = arr[~(np.isfinite(arr) & (arr >= 0.0))][0]
+            raise InvalidWeightError(
+                f"edge weights must be finite and non-negative, got {bad!r}"
+            )
+        tree = arr.copy()
+        step = 1
+        while step < n:
+            # Indices i with LSB(i + 1) == step and parent i + step < n.
+            idx = np.arange(step - 1, n - step, step << 1)
+            if idx.size:
+                tree[idx + step] += tree[idx]
+            step <<= 1
+        table._tree = tree.tolist()
+        return table
 
     # ------------------------------------------------------------------
     # basic protocol
@@ -174,7 +219,10 @@ class FSTable:
         while step < span:
             value -= tree[i - step]
             step <<= 1
-        return value
+        # Every write path validates weights >= 0, so a negative here is
+        # pure float cancellation noise; clamp so reconstructed weights
+        # can be fed back into a fresh table (e.g. leaf splits).
+        return value if value > 0.0 else 0.0
 
     def to_weights(self) -> List[float]:
         """Return the raw weight array in ``O(n)`` (reverse construction)."""
@@ -185,7 +233,10 @@ class FSTable:
             parent = i | (i + 1)
             if parent < n:
                 weights[parent] -= weights[i]
-        return weights
+        # Cancellation can leave -epsilon in place of a stored 0.0 (the
+        # subtraction order differs from the accumulation order); the
+        # table's invariant is weights >= 0, so clamp the noise.
+        return [w if w > 0.0 else 0.0 for w in weights]
 
     # ------------------------------------------------------------------
     # dynamic updates (paper Algorithms 3 and 4)

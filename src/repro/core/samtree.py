@@ -38,7 +38,7 @@ from dataclasses import dataclass
 from typing import Iterator, List, Optional, Tuple, Union
 
 from repro.core.alpha_split import split_arrays
-from repro.core.compression import make_id_list
+from repro.core.compression import make_id_list, make_id_list_from_array
 from repro.core.cstable import CSTable
 from repro.core.fenwick import FSTable
 from repro.core.memory import DEFAULT_MEMORY_MODEL, MemoryModel
@@ -49,10 +49,17 @@ from repro.errors import (
     InvariantViolationError,
 )
 
-__all__ = ["Samtree", "SamtreeConfig", "OpStats"]
+__all__ = ["Samtree", "SamtreeConfig", "OpStats", "BULK_FILL_FRACTION"]
 
 #: Sentinel separator for the leftmost child of a fresh internal node.
 _MIN_KEY = 0
+
+#: Target node occupancy of a bottom-up bulk build, as a fraction of the
+#: capacity ``c``.  Packing below capacity leaves headroom so the first
+#: incremental inserts after a bulk load do not immediately split every
+#: leaf; the clamp in :meth:`Samtree.bulk_build` keeps the realised fill
+#: inside the paper's ``[c/2 - alpha, c]`` occupancy bounds regardless.
+BULK_FILL_FRACTION = 0.75
 
 
 @dataclass
@@ -568,6 +575,190 @@ class Samtree:
         from repro.core.tree_batch import apply_tree_batch
 
         return apply_tree_batch(self, ops)
+
+    # ------------------------------------------------------------------
+    # bulk construction (bottom-up, the ingestion tier's tree builder)
+    # ------------------------------------------------------------------
+    @classmethod
+    def bulk_build(
+        cls,
+        ids,
+        weights=None,
+        config: Optional[SamtreeConfig] = None,
+        stats: Optional[OpStats] = None,
+        *,
+        assume_sorted_unique: bool = False,
+        fill: float = BULK_FILL_FRACTION,
+    ) -> "Samtree":
+        """Construct a samtree bottom-up from parallel id/weight arrays.
+
+        ``O(n)`` after the sort: leaves are packed at ``fill * capacity``
+        from contiguous slices of the sorted arrays (each FSTable built
+        with the linear vectorized Fenwick construction), then internal
+        separator levels and their CSTables are assembled level by level
+        until a single root remains.  The result satisfies every
+        structural invariant of :meth:`check_invariants` and samples from
+        the *identical* distribution as an insert-loop tree over the same
+        edges (the stored weights are equal; only the node layout
+        differs).
+
+        Duplicate ids resolve last-wins, matching an upsert loop.  Pass
+        ``assume_sorted_unique=True`` when the caller already sorted and
+        deduplicated (the columnar store path does) to skip the
+        ``argsort``.
+        """
+        tree = cls(config, stats)
+        tree._bulk_load_arrays(
+            ids, weights, assume_sorted_unique=assume_sorted_unique, fill=fill
+        )
+        return tree
+
+    def _bulk_load_arrays(
+        self,
+        ids,
+        weights=None,
+        *,
+        assume_sorted_unique: bool = False,
+        fill: float = BULK_FILL_FRACTION,
+    ) -> None:
+        """Replace this tree's whole content from arrays (in place).
+
+        Mutating in place (rather than swapping a fresh ``Samtree`` into
+        the directory) keeps every outstanding reference — snapshot-cache
+        entries in particular — pointed at a tree whose version bump they
+        can observe, so the read layer can never serve a pre-rebuild
+        snapshot of this source.
+        """
+        import numpy as np
+
+        from repro.core.fenwick import FSTable as _FSTable
+
+        if not 0.0 < fill <= 1.0:
+            raise ConfigurationError(
+                f"bulk fill fraction must be in (0, 1], got {fill}"
+            )
+        id_arr = np.asarray(ids, dtype=np.int64)
+        if id_arr.ndim != 1:
+            raise ConfigurationError(
+                f"ids must be one-dimensional, got shape {id_arr.shape}"
+            )
+        n = int(id_arr.size)
+        if weights is None:
+            w_arr = np.ones(n, dtype=np.float64)
+        else:
+            w_arr = np.asarray(weights, dtype=np.float64)
+            if w_arr.shape != id_arr.shape:
+                raise ConfigurationError(
+                    f"ids/weights shape mismatch: {id_arr.shape} vs "
+                    f"{w_arr.shape}"
+                )
+        if n and bool((id_arr < 0).any()):
+            raise InvalidWeightError(
+                f"vertex IDs must be non-negative, got {int(id_arr.min())}"
+            )
+        if n and (not bool(np.isfinite(w_arr).all())
+                  or bool((w_arr < 0.0).any())):
+            bad = w_arr[~(np.isfinite(w_arr) & (w_arr >= 0.0))][0]
+            raise InvalidWeightError(
+                f"edge weights must be finite and non-negative, got {bad!r}"
+            )
+        if not assume_sorted_unique and n:
+            order = np.argsort(id_arr, kind="stable")
+            id_arr = id_arr[order]
+            w_arr = w_arr[order]
+            # Last-wins dedup: stable sort keeps submission order inside
+            # each equal-id run, so keep each run's final element.
+            keep = np.empty(n, dtype=bool)
+            keep[:-1] = id_arr[1:] != id_arr[:-1]
+            keep[-1] = True
+            if not bool(keep.all()):
+                id_arr = id_arr[keep]
+                w_arr = w_arr[keep]
+                n = int(id_arr.size)
+
+        self._version += 1
+        if n == 0:
+            self._root = self._new_leaf([], [])
+            self._size = 0
+            return
+
+        cap = self.config.capacity
+        target = max(1, min(cap, int(round(cap * fill))))
+
+        # -- leaf level ------------------------------------------------
+        bounds = self._level_bounds(
+            n, target, cap, self.config.leaf_min_fill
+        )
+        nodes: List[_Node] = []
+        keys: List[int] = []
+        node_weights: List[float] = []
+        node_counts: List[int] = []
+        compress = self.config.compress
+        key_list = id_arr[bounds[:-1]].tolist()  # exact slice minima
+        for (a, b), key in zip(zip(bounds[:-1], bounds[1:]), key_list):
+            leaf = _LeafNode(
+                make_id_list_from_array(compress, id_arr[a:b]),
+                _FSTable.from_array(w_arr[a:b]),
+            )
+            nodes.append(leaf)
+            keys.append(key)  # exact minimum: slices are sorted
+            node_weights.append(leaf.fstable.total())
+            node_counts.append(b - a)
+
+        # -- internal separator levels, bottom-up ----------------------
+        min_internal = self.config.internal_min_fill
+        while len(nodes) > 1:
+            bounds = self._level_bounds(
+                len(nodes), target, cap, min_internal
+            )
+            parents: List[_Node] = []
+            parent_keys: List[int] = []
+            parent_weights: List[float] = []
+            parent_counts: List[int] = []
+            for a, b in zip(bounds[:-1], bounds[1:]):
+                parents.append(
+                    _InternalNode(
+                        keys=keys[a:b],
+                        children=nodes[a:b],
+                        cstable=CSTable(node_weights[a:b]),
+                        counts=node_counts[a:b],
+                    )
+                )
+                parent_keys.append(keys[a])
+                parent_weights.append(parents[-1].cstable.total())
+                parent_counts.append(sum(node_counts[a:b]))
+            nodes, keys = parents, parent_keys
+            node_weights, node_counts = parent_weights, parent_counts
+
+        self._root = nodes[0]
+        self._size = n
+
+    @staticmethod
+    def _level_bounds(
+        n: int, target: int, cap: int, min_fill: int
+    ) -> List[int]:
+        """Slice boundaries packing ``n`` elements into nodes near
+        ``target`` occupancy while honouring ``[min_fill, cap]``.
+
+        The node count is clamped to ``[ceil(n / cap), n // min_fill]``
+        (at least 1), then sizes are distributed evenly, so every
+        non-root node lands inside the paper's occupancy bounds — the
+        clamp interval is never empty because ``min_fill <= (cap+1)/2``.
+        """
+        if n <= cap:
+            # Fits in one node: never split what a single node can hold
+            # (matches the incremental tree, which only splits on
+            # overflow).
+            return [0, n]
+        want = -(-n // target)  # ceil
+        lo = -(-n // cap)
+        hi = max(1, n // max(1, min_fill))
+        num = max(lo, min(want, hi))
+        base, rem = divmod(n, num)
+        bounds = [0]
+        for j in range(num):
+            bounds.append(bounds[-1] + base + (1 if j < rem else 0))
+        return bounds
 
     # ------------------------------------------------------------------
     # sampling (paper §V-C: ITS at internal nodes, FTS at the leaf)

@@ -18,6 +18,16 @@ import random
 import threading
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+import numpy as np
+
+from repro.core.ingest import (
+    OP_DELETE,
+    OP_INSERT,
+    OP_UPDATE,
+    EdgeBatch,
+    IngestStats,
+    fold_run,
+)
 from repro.core.memory import DEFAULT_MEMORY_MODEL, MemoryModel
 from repro.core.samtree import OpStats, Samtree, SamtreeConfig
 from repro.core.snapshot import (
@@ -27,12 +37,27 @@ from repro.core.snapshot import (
     resolve_rngs,
 )
 from repro.core.types import DEFAULT_ETYPE, GraphStoreAPI
+from repro.errors import ConfigurationError
 from repro.storage.cuckoo import CuckooHashMap
 
-__all__ = ["DynamicGraphStore"]
+__all__ = [
+    "DynamicGraphStore",
+    "REBUILD_MIN_OPS",
+    "REBUILD_DEGREE_RATIO",
+]
 
 #: Sentinel distinguishing "not passed" from "explicitly disabled".
 _DEFAULT_CACHE = object()
+
+#: Rebuild-vs-incremental heuristic (paper Fig. 8-9 axis): a per-tree
+#: group takes the O(n) bottom-up rebuild only when it is *both* big in
+#: absolute terms and big relative to the tree it targets.  Small
+#: touch-ups on large trees route through the PALM batch path
+#: (``apply_source_batch``), which costs O(g log n) instead of O(n).
+REBUILD_MIN_OPS = 16
+REBUILD_DEGREE_RATIO = 4
+
+_CODE_TO_KIND = {OP_INSERT: "insert", OP_UPDATE: "update", OP_DELETE: "delete"}
 
 
 class DynamicGraphStore(GraphStoreAPI):
@@ -177,6 +202,196 @@ class DynamicGraphStore(GraphStoreAPI):
             if self.snapshot_cache is not None:
                 self.snapshot_cache.invalidate((etype, src))
         return outcomes
+
+    # ------------------------------------------------------------------
+    # bulk ingestion (the columnar write path)
+    # ------------------------------------------------------------------
+    def bulk_load(
+        self, src, dst=None, weight=None, etype=None
+    ) -> IngestStats:
+        """Insert-only columnar bulk load (the graph-build shape).
+
+        Accepts either an insert-only :class:`EdgeBatch` or raw columns
+        (``src``/``dst`` arrays plus optional ``weight``/``etype``, each
+        broadcastable from a scalar).  Equivalent to an ``add_edge`` loop
+        with last-wins upsert semantics, but each target samtree is built
+        or rebuilt bottom-up in O(n) instead of edge by edge.
+        """
+        if isinstance(src, EdgeBatch):
+            batch = src
+            if not batch.is_insert_only:
+                raise ConfigurationError(
+                    "bulk_load takes insert-only batches; use "
+                    "apply_edge_batch for mixed-op batches"
+                )
+        else:
+            batch = EdgeBatch.inserts(src, dst, weight, etype)
+        return self.apply_edge_batch(batch)
+
+    def apply_edge_batch(
+        self, batch, dst=None, weight=None, etype=None, op=None
+    ) -> IngestStats:
+        """Apply a columnar batch of dynamic updates (paper Table II).
+
+        One ``lexsort`` groups the rows per target samtree, duplicate
+        ``(etype, src, dst)`` keys fold to their net effect
+        (:func:`~repro.core.ingest.fold_run` — equivalent to sequential
+        application), and each tree then takes either the O(n) bottom-up
+        rebuild or the PALM incremental path depending on how large the
+        group is relative to the tree's degree.  Final store state is
+        identical to applying the same operations one by one through
+        :meth:`add_edge`/:meth:`update_edge`/:meth:`remove_edge`.
+        """
+        if not isinstance(batch, EdgeBatch):
+            batch = EdgeBatch(batch, dst, weight, etype, op)
+        stats = IngestStats(ops=len(batch))
+        if len(batch) == 0:
+            return stats
+        for et, src, group in batch.sorted_by_tree().iter_tree_groups():
+            self._apply_tree_group(et, src, group, stats)
+        return stats
+
+    @staticmethod
+    def _fold_group(group: EdgeBatch):
+        """Net ``(dsts, codes, weights)`` of one per-tree group.
+
+        The group is dst-sorted with submission order preserved inside
+        each equal-dst run (stable lexsort), so folding each run yields
+        exactly the state sequential application would leave.  Returns
+        ``(dst_array, code_list_or_None, weight_array)`` — ``None``
+        codes mean *all inserts*, the bulk-load shape, folded with one
+        vectorized last-wins keep-mask instead of per-run Python work.
+        """
+        n = len(group)
+        dsts = group.dst
+        codes = group.op
+        ws = group.weight
+        if not codes.any():  # all OP_INSERT (code 0): vectorized dedupe
+            if n > 1:
+                keep = np.empty(n, dtype=bool)
+                np.not_equal(dsts[1:], dsts[:-1], out=keep[:-1])
+                keep[-1] = True
+                if not bool(keep.all()):
+                    dsts = dsts[keep]
+                    ws = ws[keep]
+            return dsts, None, ws
+        net_dst: List[int] = []
+        net_code: List[int] = []
+        net_w: List[float] = []
+        if n == 1:
+            return dsts, [int(codes[0])], ws
+        change = np.empty(n, dtype=bool)
+        change[0] = True
+        np.not_equal(dsts[1:], dsts[:-1], out=change[1:])
+        starts = np.flatnonzero(change)
+        ends = np.append(starts[1:], n)
+        for a, b in zip(starts.tolist(), ends.tolist()):
+            if b - a == 1:
+                net_dst.append(int(dsts[a]))
+                net_code.append(int(codes[a]))
+                net_w.append(float(ws[a]))
+                continue
+            net = fold_run(codes[a:b].tolist(), ws[a:b].tolist())
+            if net is None:
+                continue
+            net_dst.append(int(dsts[a]))
+            net_code.append(net[0])
+            net_w.append(net[1])
+        return (
+            np.asarray(net_dst, dtype=np.int64),
+            net_code,
+            np.asarray(net_w, dtype=np.float64),
+        )
+
+    def _apply_tree_group(
+        self, etype: int, src: int, group: EdgeBatch, stats: IngestStats
+    ) -> None:
+        net_dst, net_code, net_w = self._fold_group(group)
+        m = int(net_dst.size)
+        if m == 0:
+            return
+        insert_only = net_code is None
+        tree = self._tree(src, etype)
+        if tree is None:
+            # Updates and deletes against a missing tree are no-ops;
+            # net inserts bulk-build the tree bottom-up in one pass.
+            if insert_only:
+                ins_dst, ins_w = net_dst, net_w
+            else:
+                mask = np.asarray(net_code, dtype=np.uint8) == OP_INSERT
+                if not bool(mask.any()):
+                    return
+                ins_dst, ins_w = net_dst[mask], net_w[mask]
+            tree = self._tree_or_create(src, etype)
+            tree._bulk_load_arrays(ins_dst, ins_w, assume_sorted_unique=True)
+            stats.trees_created += 1
+            stats.inserted += tree.degree
+            with self._count_lock:
+                self._num_edges += tree.degree
+            return
+        degree = tree.degree
+        if m >= REBUILD_MIN_OPS and m * REBUILD_DEGREE_RATIO >= degree:
+            # Big relative batch: merge into a dict and rebuild bottom-up
+            # *in place* — outstanding snapshot-cache entries observe the
+            # version bump instead of pointing at a dead tree object.
+            merged = tree.to_dict()
+            if insert_only:
+                before = len(merged)
+                merged.update(zip(net_dst.tolist(), net_w.tolist()))
+                ins = len(merged) - before
+                rem = 0
+            else:
+                ins = rem = 0
+                for d, c, w in zip(
+                    net_dst.tolist(), net_code, net_w.tolist()
+                ):
+                    if c == OP_INSERT:
+                        if d not in merged:
+                            ins += 1
+                        merged[d] = w
+                    elif c == OP_UPDATE:
+                        if d in merged:
+                            merged[d] = w
+                    else:  # OP_DELETE
+                        if merged.pop(d, None) is not None:
+                            rem += 1
+            ids = sorted(merged)
+            tree._bulk_load_arrays(
+                ids, [merged[i] for i in ids], assume_sorted_unique=True
+            )
+            stats.trees_rebuilt += 1
+            stats.inserted += ins
+            stats.removed += rem
+            with self._count_lock:
+                self._num_edges += ins - rem
+            if not tree:
+                self._directory.delete((etype, src))
+                if self.snapshot_cache is not None:
+                    self.snapshot_cache.invalidate((etype, src))
+        else:
+            # Small touch-up: one descent per op + bottom-up repair
+            # rounds (PALM).  apply_source_batch maintains the counter,
+            # the directory, and the cache invalidation.
+            if insert_only:
+                triples = [
+                    ("insert", d, w)
+                    for d, w in zip(net_dst.tolist(), net_w.tolist())
+                ]
+            else:
+                triples = [
+                    (_CODE_TO_KIND[c], d, w)
+                    for d, c, w in zip(
+                        net_dst.tolist(), net_code, net_w.tolist()
+                    )
+                ]
+            outcomes = self.apply_source_batch(src, etype, triples)
+            for (kind, _, _), ok in zip(triples, outcomes):
+                if ok:
+                    if kind == "insert":
+                        stats.inserted += 1
+                    elif kind == "delete":
+                        stats.removed += 1
+            stats.trees_incremental += 1
 
     # ------------------------------------------------------------------
     # queries

@@ -126,6 +126,61 @@ class GraphStoreAPI(abc.ABC):
                 added += 1
         return added
 
+    # -- columnar bulk ingestion ----------------------------------------
+    # Generic fallbacks replaying row by row; samtree-backed stores
+    # override these with the O(n) bottom-up build
+    # (:meth:`repro.core.topology.DynamicGraphStore.apply_edge_batch`).
+    # Imports are lazy: :mod:`repro.core.ingest` imports this module.
+    def bulk_load(self, src, dst=None, weight=None, etype=None):
+        """Insert-only columnar load; returns an ``IngestStats``."""
+        from repro.core.ingest import EdgeBatch
+
+        if isinstance(src, EdgeBatch):
+            batch = src
+            if not batch.is_insert_only:
+                from repro.errors import ConfigurationError
+
+                raise ConfigurationError(
+                    "bulk_load takes insert-only batches; use "
+                    "apply_edge_batch for mixed-op batches"
+                )
+        else:
+            batch = EdgeBatch.inserts(src, dst, weight, etype)
+        return self.apply_edge_batch(batch)
+
+    def apply_edge_batch(self, batch, dst=None, weight=None, etype=None,
+                         op=None):
+        """Apply a columnar update batch; returns an ``IngestStats``.
+
+        The fallback replays the batch op by op through
+        :meth:`add_edge`/:meth:`update_edge`/:meth:`remove_edge` — the
+        reference semantics every bulk path must reproduce exactly.
+        """
+        from repro.core.ingest import (
+            OP_DELETE,
+            OP_INSERT,
+            EdgeBatch,
+            IngestStats,
+        )
+
+        if not isinstance(batch, EdgeBatch):
+            batch = EdgeBatch(batch, dst, weight, etype, op)
+        stats = IngestStats(ops=len(batch))
+        for i in range(len(batch)):
+            code = int(batch.op[i])
+            s = int(batch.src[i])
+            d = int(batch.dst[i])
+            e = int(batch.etype[i])
+            if code == OP_INSERT:
+                if self.add_edge(s, d, float(batch.weight[i]), e):
+                    stats.inserted += 1
+            elif code == OP_DELETE:
+                if self.remove_edge(s, d, e):
+                    stats.removed += 1
+            else:
+                self.update_edge(s, d, float(batch.weight[i]), e)
+        return stats
+
     # -- queries ---------------------------------------------------------
     @abc.abstractmethod
     def degree(self, src: int, etype: int = DEFAULT_ETYPE) -> int:

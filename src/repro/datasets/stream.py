@@ -16,6 +16,7 @@ from __future__ import annotations
 import random
 from typing import Iterator, List, Optional, Tuple
 
+from repro.core.ingest import EdgeBatch
 from repro.core.types import EdgeOp
 from repro.datasets.presets import GraphData
 from repro.errors import ConfigurationError
@@ -32,6 +33,10 @@ class EdgeStream:
         # Live-edge tracking for valid update/delete targets.
         self._live: List[Tuple[int, int, int]] = []
         self._live_set: set = set()
+        # Columnar build batches defer live-set materialisation: the
+        # arrays are stashed here and only expanded into per-edge keys
+        # the first time churn actually needs targets.
+        self._pending: List[Tuple[int, object, object]] = []
 
     # ------------------------------------------------------------------
     def build_batches(self, batch_size: int) -> Iterator[List[EdgeOp]]:
@@ -50,13 +55,59 @@ class EdgeStream:
         if batch:
             yield batch
 
+    def build_batches_columnar(
+        self, batch_size: int
+    ) -> Iterator[EdgeBatch]:
+        """Columnar insert batches covering every edge, in order.
+
+        Each batch is a contiguous slice of one relation's arrays — no
+        per-edge :class:`EdgeOp` objects are ever materialised, which is
+        what lets a bulk load stream millions of edges through the
+        columnar ingest RPCs.  Live-edge tracking (for a later churn
+        phase) is deferred until churn actually needs targets.
+        """
+        if batch_size < 1:
+            raise ConfigurationError(
+                f"batch_size must be >= 1, got {batch_size}"
+            )
+        for rel in self.data.relations:
+            etype = rel.spec.etype
+            n = rel.num_edges
+            for a in range(0, n, batch_size):
+                b = min(a + batch_size, n)
+                self._pending.append((etype, rel.src[a:b], rel.dst[a:b]))
+                yield EdgeBatch.inserts(
+                    rel.src[a:b], rel.dst[a:b], rel.weight[a:b], etype
+                )
+
+    def churn_batches_columnar(
+        self,
+        batch_size: int,
+        num_batches: int,
+        mix: Tuple[float, float, float] = (0.5, 0.3, 0.2),
+        id_space: Optional[int] = None,
+    ) -> Iterator[EdgeBatch]:
+        """Columnar form of :meth:`churn_batches` (same op sequence)."""
+        for ops in self.churn_batches(batch_size, num_batches, mix, id_space):
+            yield EdgeBatch.from_edge_ops(ops)
+
     def _track_insert(self, src: int, dst: int, etype: int) -> None:
         key = (etype, src, dst)
         if key not in self._live_set:
             self._live_set.add(key)
             self._live.append(key)
 
+    def _ensure_live(self) -> None:
+        """Materialise deferred columnar inserts into the live set."""
+        if not self._pending:
+            return
+        pending, self._pending = self._pending, []
+        for etype, src_arr, dst_arr in pending:
+            for s, d in zip(src_arr, dst_arr):
+                self._track_insert(int(s), int(d), etype)
+
     def _pop_live(self) -> Optional[Tuple[int, int, int]]:
+        self._ensure_live()
         rng = self._rng
         while self._live:
             i = rng.randrange(len(self._live))
@@ -69,6 +120,7 @@ class EdgeStream:
         return None
 
     def _pick_live(self) -> Optional[Tuple[int, int, int]]:
+        self._ensure_live()
         rng = self._rng
         while self._live:
             i = rng.randrange(len(self._live))
@@ -104,6 +156,7 @@ class EdgeStream:
         if total <= 0:
             raise ConfigurationError(f"mix must have positive mass: {mix}")
         p_insert, p_update = p_insert / total, p_update / total
+        self._ensure_live()
         rng = self._rng
         specs = [r.spec for r in self.data.relations]
         for _ in range(num_batches):
@@ -143,4 +196,5 @@ class EdgeStream:
     @property
     def num_live_edges(self) -> int:
         """Distinct (etype, src, dst) triples currently live."""
+        self._ensure_live()
         return len(self._live_set)

@@ -14,13 +14,14 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.ingest import EdgeBatch, IngestStats
 from repro.core.memory import DEFAULT_MEMORY_MODEL, MemoryModel
 from repro.core.snapshot import RNGLike
 from repro.core.types import DEFAULT_ETYPE, EdgeOp, GraphStoreAPI, OpKind
 from repro.distributed.partition import Partitioner
 from repro.distributed.rpc import NetworkModel
 from repro.distributed.server import GraphServer
-from repro.errors import PartitionError
+from repro.errors import ConfigurationError, PartitionError
 
 __all__ = ["GraphClient"]
 
@@ -105,6 +106,48 @@ class GraphClient(GraphStoreAPI):
             for (i, _), result in zip(indexed, results):
                 outcomes[i] = result
         return outcomes
+
+    # ------------------------------------------------------------------
+    # columnar bulk ingestion (one columnar message per shard)
+    # ------------------------------------------------------------------
+    def apply_edge_batch(self, batch, dst=None, weight=None, etype=None,
+                         op=None) -> IngestStats:
+        """Route one columnar batch, one ingest RPC per owning shard.
+
+        The write-path mirror of :meth:`sample_neighbors_many`: the whole
+        ``src`` column is hashed in one vectorized pass
+        (:meth:`~repro.distributed.partition.Partitioner.shards_for_array`),
+        each shard receives one contiguous columnar sub-batch, and the
+        :class:`~repro.distributed.rpc.NetworkModel` is charged the
+        *array* payload bytes of each sub-batch — not per-op object
+        framing — so the modeled message count is the shard count, not
+        the op count.
+        """
+        if not isinstance(batch, EdgeBatch):
+            batch = EdgeBatch(batch, dst, weight, etype, op)
+        stats = IngestStats()
+        if len(batch) == 0:
+            stats.ops = 0
+            return stats
+        shards = self.partitioner.shards_for_array(batch.src)
+        for shard in np.unique(shards).tolist():
+            sub = batch.select(np.flatnonzero(shards == shard))
+            self._account(sub.payload_nbytes())
+            stats.merge_from(self.servers[shard].ingest_batch(sub))
+        return stats
+
+    def bulk_load(self, src, dst=None, weight=None, etype=None) -> IngestStats:
+        """Insert-only columnar load across the cluster (graph build)."""
+        if isinstance(src, EdgeBatch):
+            batch = src
+            if not batch.is_insert_only:
+                raise ConfigurationError(
+                    "bulk_load takes insert-only batches; use "
+                    "apply_edge_batch for mixed-op batches"
+                )
+        else:
+            batch = EdgeBatch.inserts(src, dst, weight, etype)
+        return self.apply_edge_batch(batch)
 
     # ------------------------------------------------------------------
     # queries

@@ -18,9 +18,16 @@ from __future__ import annotations
 import abc
 from typing import Sequence
 
+import numpy as np
+
 from repro.errors import PartitionError
 
-__all__ = ["Partitioner", "HashBySourcePartitioner", "splitmix64"]
+__all__ = [
+    "Partitioner",
+    "HashBySourcePartitioner",
+    "splitmix64",
+    "splitmix64_array",
+]
 
 _MASK64 = (1 << 64) - 1
 
@@ -31,6 +38,21 @@ def splitmix64(x: int) -> int:
     x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
     x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
     return x ^ (x >> 31)
+
+
+def splitmix64_array(xs) -> np.ndarray:
+    """Vectorized :func:`splitmix64` (bit-exact, one pass over uint64).
+
+    The columnar ingest path hashes the whole ``src`` column at once;
+    ``uint64`` arithmetic wraps modulo :math:`2^{64}`, matching the
+    scalar masking.
+    """
+    x = np.asarray(xs).astype(np.uint64)
+    with np.errstate(over="ignore"):
+        x = x + np.uint64(0x9E3779B97F4A7C15)
+        x = (x ^ (x >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+        x = (x ^ (x >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    return x ^ (x >> np.uint64(31))
 
 
 class Partitioner(abc.ABC):
@@ -49,9 +71,23 @@ class Partitioner(abc.ABC):
         """Vector form of :meth:`shard_for`."""
         return [self.shard_for(s) for s in srcs]
 
+    def shards_for_array(self, srcs) -> np.ndarray:
+        """Array form of :meth:`shard_for` (loop fallback; hash-based
+        partitioners vectorize it)."""
+        return np.asarray(
+            [self.shard_for(int(s)) for s in np.asarray(srcs).ravel()],
+            dtype=np.int64,
+        )
+
 
 class HashBySourcePartitioner(Partitioner):
     """Hash-by-source placement (the dynamic-graph-friendly default)."""
 
     def shard_for(self, src: int) -> int:
         return splitmix64(int(src)) % self.num_shards
+
+    def shards_for_array(self, srcs) -> np.ndarray:
+        """One vectorized hash pass over the whole ``src`` column —
+        agrees element-wise with :meth:`shard_for`."""
+        hashed = splitmix64_array(srcs)
+        return (hashed % np.uint64(self.num_shards)).astype(np.int64)

@@ -65,6 +65,19 @@ class GraphServer:
         self.stats.ops_applied += len(ops)
         return [self.store.apply(op) for op in ops]
 
+    def ingest_batch(self, batch):
+        """Apply one columnar :class:`~repro.core.ingest.EdgeBatch`.
+
+        The bulk-write counterpart of :meth:`sample_neighbors_many`: the
+        client ships one columnar message per shard and the store applies
+        it through its vectorized path (bottom-up samtree builds on the
+        samtree store, per-row replay elsewhere).  Returns the shard's
+        :class:`~repro.core.ingest.IngestStats`.
+        """
+        self.stats.update_requests += 1
+        self.stats.ops_applied += len(batch)
+        return self.store.apply_edge_batch(batch)
+
     # ------------------------------------------------------------------
     # sampling path
     # ------------------------------------------------------------------

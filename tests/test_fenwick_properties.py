@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
+import random
 from typing import List, Tuple
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -52,6 +54,65 @@ def test_incremental_build_equals_bulk(weights: List[float]):
     tol = 1e-9 * max(1.0, sum(weights))
     for i in range(len(weights)):
         assert inc.entry(i) == pytest.approx(bulk.entry(i), rel=1e-9, abs=tol)
+
+
+# ---------------------------------------------------------------------------
+# Linear O(n) construction (FSTable.from_array, the bulk-build path)
+# ---------------------------------------------------------------------------
+@given(weight_lists)
+@settings(max_examples=200)
+def test_from_array_matches_incremental_construction(weights: List[float]):
+    """The vectorized linear build agrees with the incremental-update
+    construction on every prefix sum, the total, and FTS draws."""
+    inc = FSTable()
+    for w in weights:
+        inc.append(w)
+    vec = FSTable.from_array(np.asarray(weights, dtype=np.float64))
+    assert len(vec.to_weights()) == len(weights)
+    total = sum(weights)
+    tol = 1e-9 * max(1.0, total)
+    assert vec.total() == pytest.approx(inc.total(), rel=1e-9, abs=tol)
+    for i in range(len(weights)):
+        assert vec.prefix_sum(i) == pytest.approx(
+            inc.prefix_sum(i), rel=1e-9, abs=tol
+        )
+    # FTS draws: same index at a grid of sampling masses.
+    if total > 0:
+        for step in range(9):
+            mass = (step / 9.0) * total
+            assert vec.sample_with(mass) == inc.sample_with(mass)
+
+
+def test_from_array_exact_across_sizes_0_to_1k():
+    """Sizes 0..1k: with integer-valued weights the float addition order
+    cannot matter, so the linear build is *exactly* the insert-loop
+    table — internal tree array included — and FTS draws coincide."""
+    rng = random.Random(42)
+    for n in list(range(0, 66)) + [127, 128, 129, 255, 256, 500, 1000]:
+        weights = [float(rng.randrange(0, 100)) for _ in range(n)]
+        inc = FSTable()
+        for w in weights:
+            inc.append(w)
+        vec = FSTable.from_array(np.asarray(weights))
+        assert vec._tree == inc._tree, n
+        assert vec.total() == inc.total()
+        total = inc.total()
+        if total > 0:
+            for u in (0.0, 0.123, 0.5, 0.875, 0.999999):
+                assert vec.sample_with(u * total) == inc.sample_with(
+                    u * total
+                ), n
+
+
+def test_from_array_rejects_bad_weights():
+    from repro.errors import InvalidWeightError
+
+    with pytest.raises(InvalidWeightError):
+        FSTable.from_array(np.asarray([1.0, -2.0]))
+    with pytest.raises(InvalidWeightError):
+        FSTable.from_array(np.asarray([1.0, float("nan")]))
+    with pytest.raises(InvalidWeightError):
+        FSTable.from_array(np.asarray([float("inf")]))
 
 
 # An op sequence: (kind, value) applied to both FSTable and a flat list.
