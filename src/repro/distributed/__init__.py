@@ -1,9 +1,11 @@
 """Distributed storage layer: partitioning, graph servers, routing client,
-and the in-process cluster harness.
+fault injection, retry/backoff, shard replication, and the in-process
+cluster harness.
 """
 
-from repro.distributed.client import GraphClient
+from repro.distributed.client import UNAVAILABLE, GraphClient
 from repro.distributed.cluster import LocalCluster, ShardInfo
+from repro.distributed.faults import FaultInjector, FaultPolicy, FaultStats
 from repro.distributed.partition import (
     HashBySourcePartitioner,
     Partitioner,
@@ -15,13 +17,18 @@ from repro.distributed.rebalance import (
     execute_plan,
     plan_rebalance,
 )
+from repro.distributed.retry import RetryPolicy, RetryStats
 from repro.distributed.rpc import NetworkModel, NetworkStats
 from repro.distributed.server import GraphServer, ServerStats
 
 __all__ = [
     "GraphClient",
+    "UNAVAILABLE",
     "LocalCluster",
     "ShardInfo",
+    "FaultInjector",
+    "FaultPolicy",
+    "FaultStats",
     "HashBySourcePartitioner",
     "Partitioner",
     "splitmix64",
@@ -29,6 +36,8 @@ __all__ = [
     "OverridePartitioner",
     "execute_plan",
     "plan_rebalance",
+    "RetryPolicy",
+    "RetryStats",
     "NetworkModel",
     "NetworkStats",
     "GraphServer",

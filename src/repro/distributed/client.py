@@ -5,6 +5,25 @@ consumer in the package — benchmark drivers, the GNN samplers, the PALM
 executor's store-facing code — can run unmodified against either a local
 store or a cluster.  Batch requests are grouped per shard (one simulated
 message per shard per batch) and merged back in input order.
+
+Fault tolerance:
+
+* every per-shard RPC runs through an optional
+  :class:`~repro.distributed.retry.RetryPolicy` — transient faults are
+  retried with exponential backoff over *simulated* time (backoff sleeps
+  and per-attempt transfer costs both advance the
+  :class:`~repro.distributed.rpc.NetworkModel` clock, which also bounds
+  per-request deadlines);
+* with ``replica_groups``, writes are primary-backup (applied to every
+  live replica of the owning shard) and reads fail over from the
+  primary to backups;
+* with ``degraded_reads=True``, a read whose shard has **no** live
+  replica returns the :data:`UNAVAILABLE` marker for the affected
+  sources instead of raising — callers get partial batch results with
+  explicit per-source outage markers.  ``UNAVAILABLE`` is a falsy,
+  empty-iterable singleton, so samplers that treat empty rows as
+  "no neighbors" degrade gracefully while callers that care can test
+  ``row is UNAVAILABLE``.
 """
 
 from __future__ import annotations
@@ -19,16 +38,48 @@ from repro.core.memory import DEFAULT_MEMORY_MODEL, MemoryModel
 from repro.core.snapshot import RNGLike
 from repro.core.types import DEFAULT_ETYPE, EdgeOp, GraphStoreAPI, OpKind
 from repro.distributed.partition import Partitioner
+from repro.distributed.retry import RetryPolicy
 from repro.distributed.rpc import NetworkModel
 from repro.distributed.server import GraphServer
-from repro.errors import ConfigurationError, PartitionError
+from repro.errors import (
+    ConfigurationError,
+    PartitionError,
+    RetryExhaustedError,
+    ShardUnavailableError,
+)
 
-__all__ = ["GraphClient"]
+__all__ = ["GraphClient", "UNAVAILABLE"]
 
 #: Modeled payload bytes per edge operation / sample request entry.
 _OP_BYTES = 8 + 8 + 4 + 1
 _SAMPLE_REQ_BYTES = 8
 _SAMPLE_RESP_BYTES = 8
+#: Modeled bytes of a scalar query (degree / edge weight / adjacency).
+_QUERY_BYTES = 16
+
+
+class _UnavailableType(tuple):
+    """Singleton marker for results from shards with no live replica.
+
+    An empty tuple subclass: falsy, iterates empty (samplers degrade
+    gracefully), and identity-testable (``row is UNAVAILABLE``).
+    """
+
+    __slots__ = ()
+
+    def __new__(cls) -> "_UnavailableType":
+        return super().__new__(cls, ())
+
+    def __repr__(self) -> str:
+        return "<UNAVAILABLE>"
+
+
+#: Per-source marker returned by degraded reads.
+UNAVAILABLE = _UnavailableType()
+
+#: Failures that make one replica useless for this request but leave
+#: the rest of the group worth trying.
+_FAILOVER_ERRORS = (ShardUnavailableError, RetryExhaustedError)
 
 
 class GraphClient(GraphStoreAPI):
@@ -39,6 +90,9 @@ class GraphClient(GraphStoreAPI):
         servers: Sequence[GraphServer],
         partitioner: Partitioner,
         network: Optional[NetworkModel] = None,
+        replica_groups: Optional[Sequence[Sequence[GraphServer]]] = None,
+        retry: Optional[RetryPolicy] = None,
+        degraded_reads: bool = False,
     ) -> None:
         if len(servers) != partitioner.num_shards:
             raise PartitionError(
@@ -46,21 +100,125 @@ class GraphClient(GraphStoreAPI):
                 f"{partitioner.num_shards} shards"
             )
         self.servers = list(servers)
+        if replica_groups is None:
+            self.replica_groups: List[List[GraphServer]] = [
+                [s] for s in self.servers
+            ]
+        else:
+            if len(replica_groups) != len(self.servers):
+                raise PartitionError(
+                    f"{len(replica_groups)} replica groups but "
+                    f"{len(self.servers)} shards"
+                )
+            self.replica_groups = [list(g) for g in replica_groups]
+            for shard, group in enumerate(self.replica_groups):
+                if not group:
+                    raise ConfigurationError(
+                        f"replica group of shard {shard} is empty"
+                    )
+                if group[0] is not self.servers[shard]:
+                    raise ConfigurationError(
+                        f"replica group {shard} must lead with the "
+                        f"primary server"
+                    )
         self.partitioner = partitioner
         self.network = network
+        self.retry = retry
+        self.degraded_reads = degraded_reads
 
     # ------------------------------------------------------------------
     # routing helpers
     # ------------------------------------------------------------------
-    def _server_for(self, src: int) -> GraphServer:
-        return self.servers[self.partitioner.shard_for(src)]
-
-    def _account(self, payload_bytes: int) -> None:
+    def _account(self, payload_bytes: int) -> float:
+        """Charge one message; returns its simulated transfer seconds."""
         if self.network is not None:
-            self.network.send(payload_bytes)
+            return self.network.send(payload_bytes)
+        return 0.0
+
+    def _call(self, server: GraphServer, payload_bytes: int, fn):
+        """One RPC against one replica, with retries on transient faults.
+
+        Every attempt is charged to the network model (retries cost
+        messages), and the retry policy measures deadlines / accounts
+        backoff on the same simulated clock.
+        """
+
+        def attempt():
+            self._account(payload_bytes)
+            return fn(server)
+
+        if self.retry is None:
+            return attempt()
+        if self.network is not None:
+            return self.retry.run(
+                attempt, now=self.network.now, sleep=self.network.sleep
+            )
+        return self.retry.run(attempt)
+
+    def _read_shard(self, shard: int, payload_bytes: int, fn):
+        """Read with failover: primary first, then backups in order.
+
+        Returns :data:`UNAVAILABLE` when every replica is down and
+        degraded reads are enabled; raises otherwise.
+        """
+        group = self.replica_groups[shard]
+        last: Optional[Exception] = None
+        for server in group:
+            try:
+                return self._call(server, payload_bytes, fn)
+            except _FAILOVER_ERRORS as exc:
+                last = exc
+        if self.degraded_reads:
+            return UNAVAILABLE
+        raise ShardUnavailableError(
+            f"all {len(group)} replica(s) of shard {shard} are unavailable"
+        ) from last
+
+    def _write_shard(self, shard: int, payload_bytes: int, fn):
+        """Primary-backup write: apply to every live replica.
+
+        Returns the first successful replica's result (the logical
+        outcome — replicas apply identical state transitions).  Raises
+        :class:`ShardUnavailableError` only when **no** replica accepted
+        the write.
+        """
+        group = self.replica_groups[shard]
+        result = None
+        applied = 0
+        last: Optional[Exception] = None
+        for server in group:
+            try:
+                r = self._call(server, payload_bytes, fn)
+            except _FAILOVER_ERRORS as exc:
+                last = exc
+                continue
+            applied += 1
+            if applied == 1:
+                result = r
+        if applied == 0:
+            raise ShardUnavailableError(
+                f"write rejected: all {len(group)} replica(s) of shard "
+                f"{shard} are unavailable"
+            ) from last
+        return result
+
+    def _live_store(self, shard: int):
+        """First live replica's store (control-plane introspection —
+        no fault injection, no network charge)."""
+        for server in self.replica_groups[shard]:
+            if server.alive:
+                return server.store
+        raise ShardUnavailableError(f"no live replica of shard {shard}")
+
+    def _any_live_server(self) -> GraphServer:
+        for group in self.replica_groups:
+            for server in group:
+                if server.alive:
+                    return server
+        raise ShardUnavailableError("no live server in the cluster")
 
     # ------------------------------------------------------------------
-    # single-edge updates (each one message)
+    # single-edge updates (each one message per replica)
     # ------------------------------------------------------------------
     def add_edge(
         self,
@@ -69,29 +227,35 @@ class GraphClient(GraphStoreAPI):
         weight: float = 1.0,
         etype: int = DEFAULT_ETYPE,
     ) -> bool:
-        self._account(_OP_BYTES)
-        return self._server_for(src).apply_ops(
-            [EdgeOp(OpKind.INSERT, src, dst, weight, etype)]
-        )[0]
+        op = EdgeOp(OpKind.INSERT, src, dst, weight, etype)
+        return self._write_shard(
+            self.partitioner.shard_for(src),
+            _OP_BYTES,
+            lambda s: s.apply_ops([op])[0],
+        )
 
     def update_edge(
         self, src: int, dst: int, weight: float, etype: int = DEFAULT_ETYPE
     ) -> bool:
-        self._account(_OP_BYTES)
-        return self._server_for(src).apply_ops(
-            [EdgeOp(OpKind.UPDATE, src, dst, weight, etype)]
-        )[0]
+        op = EdgeOp(OpKind.UPDATE, src, dst, weight, etype)
+        return self._write_shard(
+            self.partitioner.shard_for(src),
+            _OP_BYTES,
+            lambda s: s.apply_ops([op])[0],
+        )
 
     def remove_edge(
         self, src: int, dst: int, etype: int = DEFAULT_ETYPE
     ) -> bool:
-        self._account(_OP_BYTES)
-        return self._server_for(src).apply_ops(
-            [EdgeOp(OpKind.DELETE, src, dst, 0.0, etype)]
-        )[0]
+        op = EdgeOp(OpKind.DELETE, src, dst, 0.0, etype)
+        return self._write_shard(
+            self.partitioner.shard_for(src),
+            _OP_BYTES,
+            lambda s: s.apply_ops([op])[0],
+        )
 
     # ------------------------------------------------------------------
-    # batched updates (one message per shard)
+    # batched updates (one message per shard per replica)
     # ------------------------------------------------------------------
     def apply_batch(self, ops: Sequence[EdgeOp]) -> List[bool]:
         """Route a batch of operations, one message per involved shard,
@@ -101,14 +265,18 @@ class GraphClient(GraphStoreAPI):
             per_shard[self.partitioner.shard_for(op.src)].append((i, op))
         outcomes: List[bool] = [False] * len(ops)
         for shard, indexed in per_shard.items():
-            self._account(_OP_BYTES * len(indexed))
-            results = self.servers[shard].apply_ops([op for _, op in indexed])
+            shard_ops = [op for _, op in indexed]
+            results = self._write_shard(
+                shard,
+                _OP_BYTES * len(indexed),
+                lambda s, shard_ops=shard_ops: s.apply_ops(shard_ops),
+            )
             for (i, _), result in zip(indexed, results):
                 outcomes[i] = result
         return outcomes
 
     # ------------------------------------------------------------------
-    # columnar bulk ingestion (one columnar message per shard)
+    # columnar bulk ingestion (one columnar message per shard per replica)
     # ------------------------------------------------------------------
     def apply_edge_batch(self, batch, dst=None, weight=None, etype=None,
                          op=None) -> IngestStats:
@@ -120,8 +288,8 @@ class GraphClient(GraphStoreAPI):
         each shard receives one contiguous columnar sub-batch, and the
         :class:`~repro.distributed.rpc.NetworkModel` is charged the
         *array* payload bytes of each sub-batch — not per-op object
-        framing — so the modeled message count is the shard count, not
-        the op count.
+        framing — so the modeled message count is the shard count (times
+        the replication factor), not the op count.
         """
         if not isinstance(batch, EdgeBatch):
             batch = EdgeBatch(batch, dst, weight, etype, op)
@@ -132,8 +300,12 @@ class GraphClient(GraphStoreAPI):
         shards = self.partitioner.shards_for_array(batch.src)
         for shard in np.unique(shards).tolist():
             sub = batch.select(np.flatnonzero(shards == shard))
-            self._account(sub.payload_nbytes())
-            stats.merge_from(self.servers[shard].ingest_batch(sub))
+            shard_stats = self._write_shard(
+                shard,
+                sub.payload_nbytes(),
+                lambda s, sub=sub: s.ingest_batch(sub),
+            )
+            stats.merge_from(shard_stats)
         return stats
 
     def bulk_load(self, src, dst=None, weight=None, etype=None) -> IngestStats:
@@ -150,32 +322,51 @@ class GraphClient(GraphStoreAPI):
         return self.apply_edge_batch(batch)
 
     # ------------------------------------------------------------------
-    # queries
+    # queries (failover reads; may return UNAVAILABLE in degraded mode)
     # ------------------------------------------------------------------
-    def degree(self, src: int, etype: int = DEFAULT_ETYPE) -> int:
-        return self._server_for(src).store.degree(src, etype)
+    def degree(self, src: int, etype: int = DEFAULT_ETYPE):
+        return self._read_shard(
+            self.partitioner.shard_for(src),
+            _QUERY_BYTES,
+            lambda s: s.degrees([src], etype)[0],
+        )
 
     def edge_weight(
         self, src: int, dst: int, etype: int = DEFAULT_ETYPE
-    ) -> Optional[float]:
-        return self._server_for(src).store.edge_weight(src, dst, etype)
+    ):
+        result = self._read_shard(
+            self.partitioner.shard_for(src),
+            _QUERY_BYTES,
+            lambda s: s.edge_weights([(src, dst)], etype)[0],
+        )
+        return None if result is UNAVAILABLE else result
 
     def neighbors(
         self, src: int, etype: int = DEFAULT_ETYPE
     ) -> List[Tuple[int, float]]:
-        return self._server_for(src).store.neighbors(src, etype)
+        return self._read_shard(
+            self.partitioner.shard_for(src),
+            _QUERY_BYTES,
+            lambda s: s.neighbors_batch([src], etype)[0],
+        )
 
     @property
     def num_edges(self) -> int:
-        return sum(s.store.num_edges for s in self.servers)
+        return sum(
+            self._live_store(shard).num_edges
+            for shard in range(len(self.replica_groups))
+        )
 
     @property
     def num_sources(self) -> int:
-        return sum(s.store.num_sources for s in self.servers)
+        return sum(
+            self._live_store(shard).num_sources
+            for shard in range(len(self.replica_groups))
+        )
 
     def sources(self, etype: int = DEFAULT_ETYPE) -> Iterator[int]:
-        for server in self.servers:
-            yield from server.store.sources(etype)
+        for shard in range(len(self.replica_groups)):
+            yield from self._live_store(shard).sources(etype)
 
     # ------------------------------------------------------------------
     # sampling (one message per shard per batch)
@@ -187,10 +378,11 @@ class GraphClient(GraphStoreAPI):
         rng: RNGLike = None,
         etype: int = DEFAULT_ETYPE,
     ) -> List[int]:
-        self._account(_SAMPLE_REQ_BYTES + k * _SAMPLE_RESP_BYTES)
-        return self._server_for(src).sample_neighbors_batch(
-            [src], k, rng, etype
-        )[0]
+        return self._read_shard(
+            self.partitioner.shard_for(src),
+            _SAMPLE_REQ_BYTES + k * _SAMPLE_RESP_BYTES,
+            lambda s: s.sample_neighbors_batch([src], k, rng, etype)[0],
+        )
 
     def _sample_many_routed(
         self,
@@ -206,7 +398,9 @@ class GraphClient(GraphStoreAPI):
         Each shard answers its whole sub-batch through the store's
         vectorized read path, so the per-message payload grows with the
         sub-batch while the message count stays at the shard count —
-        exactly the incentive the network model rewards.
+        exactly the incentive the network model rewards.  Sources owned
+        by a fully-unavailable shard come back as :data:`UNAVAILABLE`
+        rows when degraded reads are enabled.
         """
         srcs = list(srcs)
         per_shard: Dict[int, List[int]] = defaultdict(list)
@@ -215,12 +409,18 @@ class GraphClient(GraphStoreAPI):
         out: List[Sequence[int]] = [[] for _ in srcs]
         for shard, positions in per_shard.items():
             shard_srcs = [srcs[i] for i in positions]
-            self._account(
-                len(shard_srcs) * (_SAMPLE_REQ_BYTES + k * _SAMPLE_RESP_BYTES)
+            results = self._read_shard(
+                shard,
+                len(shard_srcs)
+                * (_SAMPLE_REQ_BYTES + k * _SAMPLE_RESP_BYTES),
+                lambda s, ss=shard_srcs: getattr(s, endpoint)(
+                    ss, k, rng, etype
+                ),
             )
-            results = getattr(self.servers[shard], endpoint)(
-                shard_srcs, k, rng, etype
-            )
+            if results is UNAVAILABLE:
+                for i in positions:
+                    out[i] = UNAVAILABLE
+                continue
             for i, res in zip(positions, results):
                 out[i] = res
         return out
@@ -251,35 +451,64 @@ class GraphClient(GraphStoreAPI):
     # attributes (vertex features live on the shard that owns the vertex)
     # ------------------------------------------------------------------
     def register_attribute(self, name: str, dim: int) -> None:
-        """Declare an attribute field on every server."""
-        for server in self.servers:
-            server.attributes.register(name, dim)
+        """Declare an attribute field on every replica of every shard.
+
+        Replicas that are down are skipped — a later recovery restores
+        their schema from a checkpoint or a peer state transfer.
+        """
+        for group in self.replica_groups:
+            for server in group:
+                try:
+                    server.register_attribute(name, dim)
+                except ShardUnavailableError:
+                    continue
 
     def put_attribute(self, name: str, vertex: int, value) -> None:
-        """Write one vertex's feature vector to its owning shard."""
-        self._server_for(vertex).attributes.put(name, vertex, value)
+        """Write one vertex's feature vector to its owning shard
+        (primary-backup, like the topology writes)."""
+        payload = _QUERY_BYTES + 8 * int(np.size(value))
+        self._write_shard(
+            self.partitioner.shard_for(vertex),
+            payload,
+            lambda s: s.put_attribute(name, vertex, value),
+        )
 
     def gather_attributes(self, name: str, vertices: Sequence[int]) -> np.ndarray:
-        """Gather feature rows across shards, merged in input order."""
+        """Gather feature rows across shards, merged in input order.
+
+        In degraded mode, rows owned by fully-unavailable shards are
+        zero-filled (matching the store's unknown-vertex convention).
+        """
         vertices = list(vertices)
         per_shard: Dict[int, List[int]] = defaultdict(list)
         for i, v in enumerate(vertices):
             per_shard[self.partitioner.shard_for(v)].append(i)
         out: Optional[np.ndarray] = None
         for shard, positions in per_shard.items():
-            rows = self.servers[shard].gather_attributes(
-                name, [vertices[i] for i in positions]
+            shard_vertices = [vertices[i] for i in positions]
+            rows = self._read_shard(
+                shard,
+                _QUERY_BYTES * len(shard_vertices),
+                lambda s, sv=shard_vertices: s.gather_attributes(name, sv),
             )
+            if rows is UNAVAILABLE:
+                continue
             if out is None:
                 out = np.zeros((len(vertices), rows.shape[1]), dtype=rows.dtype)
             out[positions] = rows
         if out is None:
-            schema = self.servers[0].attributes.schema(name)
-            out = np.zeros((0, schema.dim), dtype=schema.dtype)
+            schema = self._any_live_server().attributes.schema(name)
+            out = np.zeros((len(vertices), schema.dim), dtype=schema.dtype)
         return out
 
     # ------------------------------------------------------------------
     # accounting
     # ------------------------------------------------------------------
     def nbytes(self, model: MemoryModel = DEFAULT_MEMORY_MODEL) -> int:
-        return sum(s.nbytes(model) for s in self.servers)
+        """Modeled bytes across the whole deployment (replicas included;
+        crashed replicas hold no volatile state and report 0)."""
+        return sum(
+            server.nbytes(model)
+            for group in self.replica_groups
+            for server in group
+        )

@@ -3,33 +3,53 @@
 Builds the partitioner, the graph servers, and a routing client in one
 call; exposes per-shard statistics so benchmarks and examples can report
 shard balance the way a production deployment dashboard would.
+
+The fault-tolerant configuration adds, per shard:
+
+* ``replication_factor=R`` — a replica group of R full servers
+  (primary + R-1 backups); the client applies writes primary-backup and
+  fails reads over to backups;
+* ``durable=True`` — a per-replica write-ahead log
+  (:class:`~repro.storage.wal.ShardWAL`) plus binary checkpoints, so a
+  crashed replica recovers to exactly its pre-crash state;
+* ``fault_policy`` — one seeded
+  :class:`~repro.distributed.faults.FaultInjector` shared by every
+  server, so a single seed reproduces the whole cluster's fault
+  schedule;
+* ``retry`` — the client-side :class:`~repro.distributed.retry.RetryPolicy`
+  used by every read/write path.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 from repro.core.memory import DEFAULT_MEMORY_MODEL, MemoryModel
 from repro.core.samtree import SamtreeConfig
 from repro.core.types import GraphStoreAPI
 from repro.distributed.client import GraphClient
+from repro.distributed.faults import FaultInjector, FaultPolicy
 from repro.distributed.partition import HashBySourcePartitioner, Partitioner
+from repro.distributed.retry import RetryPolicy
 from repro.distributed.rpc import NetworkModel
 from repro.distributed.server import GraphServer
 from repro.errors import ConfigurationError
+from repro.storage.wal import ShardWAL
 
 __all__ = ["LocalCluster", "ShardInfo"]
 
 
 @dataclass(frozen=True)
 class ShardInfo:
-    """Snapshot of one shard's load."""
+    """Snapshot of one shard's load (first live replica's view)."""
 
     shard_id: int
     num_sources: int
     num_edges: int
     nbytes: int
+    live_replicas: int = 1
 
 
 class LocalCluster:
@@ -48,6 +68,24 @@ class LocalCluster:
         distributed stack over a baseline.
     network:
         Optional :class:`NetworkModel` accounting simulated traffic.
+    replication_factor:
+        Replicas per shard (1 = no replication).
+    durable:
+        Attach a write-ahead log to every replica (crash recovery via
+        checkpoint + WAL-tail replay).
+    wal_dir:
+        Directory for file-backed WALs; ``None`` keeps logs in memory
+        (the default for tests and simulations).
+    fault_policy:
+        Optional :class:`FaultPolicy`; when given, one seeded
+        :class:`FaultInjector` is shared by every server.
+    fault_seed:
+        Seed of the shared fault injector.
+    retry:
+        Optional client-side :class:`RetryPolicy`.
+    degraded_reads:
+        Return per-source ``UNAVAILABLE`` markers instead of raising
+        when every replica of a shard is down.
     """
 
     def __init__(
@@ -57,45 +95,184 @@ class LocalCluster:
         store_factory: Optional[Callable[[], GraphStoreAPI]] = None,
         network: Optional[NetworkModel] = None,
         partitioner: Optional[Partitioner] = None,
+        replication_factor: int = 1,
+        durable: bool = False,
+        wal_dir: Optional[str] = None,
+        fault_policy: Optional[FaultPolicy] = None,
+        fault_seed: int = 0,
+        retry: Optional[RetryPolicy] = None,
+        degraded_reads: bool = False,
     ) -> None:
         if num_servers < 1:
             raise ConfigurationError(
                 f"num_servers must be >= 1, got {num_servers}"
             )
+        if replication_factor < 1:
+            raise ConfigurationError(
+                f"replication_factor must be >= 1, got {replication_factor}"
+            )
+        if wal_dir is not None and not durable:
+            raise ConfigurationError("wal_dir requires durable=True")
         self.partitioner = partitioner or HashBySourcePartitioner(num_servers)
         if self.partitioner.num_shards != num_servers:
             raise ConfigurationError(
                 "partitioner shard count does not match num_servers"
             )
-        self.servers: List[GraphServer] = []
+        self.replication_factor = replication_factor
+        self.fault_injector: Optional[FaultInjector] = (
+            FaultInjector(fault_policy, seed=fault_seed, network=network)
+            if fault_policy is not None
+            else None
+        )
+        self.retry = retry
+        if wal_dir is not None:
+            os.makedirs(wal_dir, exist_ok=True)
+        self.replica_groups: List[List[GraphServer]] = []
         for shard in range(num_servers):
-            store = store_factory() if store_factory is not None else None
-            self.servers.append(GraphServer(shard, store=store, config=config))
+            group: List[GraphServer] = []
+            for r in range(replication_factor):
+                store = store_factory() if store_factory is not None else None
+                wal: Optional[ShardWAL] = None
+                if durable:
+                    path = (
+                        os.path.join(wal_dir, f"shard{shard:04d}_r{r}.wal")
+                        if wal_dir is not None
+                        else None
+                    )
+                    wal = ShardWAL(path, shard_id=shard)
+                group.append(
+                    GraphServer(
+                        shard,
+                        store=store,
+                        config=config,
+                        wal=wal,
+                        faults=self.fault_injector,
+                        store_factory=store_factory,
+                        replica_index=r,
+                    )
+                )
+            self.replica_groups.append(group)
+        self.servers: List[GraphServer] = [g[0] for g in self.replica_groups]
         self.network = network
-        self.client = GraphClient(self.servers, self.partitioner, network)
+        self.client = GraphClient(
+            self.servers,
+            self.partitioner,
+            network,
+            replica_groups=self.replica_groups,
+            retry=retry,
+            degraded_reads=degraded_reads,
+        )
 
     def __len__(self) -> int:
         return len(self.servers)
 
-    def shard_infos(self, model: MemoryModel = DEFAULT_MEMORY_MODEL) -> List[ShardInfo]:
-        """Per-shard load snapshot (balance diagnostics)."""
+    # ------------------------------------------------------------------
+    # fault-tolerance control plane
+    # ------------------------------------------------------------------
+    def crash(self, shard: int, replica: int = 0) -> None:
+        """Hard-crash one replica (volatile state lost)."""
+        self.replica_groups[shard][replica].crash()
+
+    def crash_shard(self, shard: int) -> None:
+        """Crash *every* replica of a shard (total shard outage)."""
+        for server in self.replica_groups[shard]:
+            server.crash()
+
+    def recover(self, shard: int, replica: int = 0, sync: bool = True) -> int:
+        """Recover one replica; returns WAL records replayed.
+
+        With ``sync=True`` and a live peer in the group, the replica
+        rejoins via state transfer from that peer (it may have missed
+        writes while down); otherwise it rebuilds from its own
+        checkpoint + WAL tail.
+        """
+        target = self.replica_groups[shard][replica]
+        peer: Optional[GraphServer] = None
+        if sync:
+            for candidate in self.replica_groups[shard]:
+                if candidate is not target and candidate.alive:
+                    peer = candidate
+                    break
+        return target.recover(sync_from=peer)
+
+    def recover_all(self, sync: bool = True) -> int:
+        """Recover every crashed replica; returns WAL records replayed."""
+        replayed = 0
+        for shard, group in enumerate(self.replica_groups):
+            for r, server in enumerate(group):
+                if not server.alive:
+                    replayed += self.recover(shard, r, sync=sync)
+        return replayed
+
+    def checkpoint_all(self) -> int:
+        """Checkpoint every live replica; returns total image bytes."""
+        total = 0
+        for group in self.replica_groups:
+            for server in group:
+                if server.alive:
+                    total += server.checkpoint()
+        return total
+
+    def dead_replicas(self) -> List[Tuple[int, int]]:
+        """``(shard, replica)`` pairs currently down."""
         return [
-            ShardInfo(
-                shard_id=s.shard_id,
-                num_sources=s.store.num_sources,
-                num_edges=s.store.num_edges,
-                nbytes=s.nbytes(model),
-            )
-            for s in self.servers
+            (shard, r)
+            for shard, group in enumerate(self.replica_groups)
+            for r, server in enumerate(group)
+            if not server.alive
         ]
 
+    def all_alive(self) -> bool:
+        return not self.dead_replicas()
+
+    # ------------------------------------------------------------------
+    # dashboards
+    # ------------------------------------------------------------------
+    def shard_infos(self, model: MemoryModel = DEFAULT_MEMORY_MODEL) -> List[ShardInfo]:
+        """Per-shard load snapshot (balance diagnostics).
+
+        Reports the first live replica's view; a fully-down shard
+        reports zeros with ``live_replicas=0``.
+        """
+        infos: List[ShardInfo] = []
+        for shard, group in enumerate(self.replica_groups):
+            live = [s for s in group if s.alive]
+            if live:
+                view = live[0]
+                infos.append(
+                    ShardInfo(
+                        shard_id=shard,
+                        num_sources=view.store.num_sources,
+                        num_edges=view.store.num_edges,
+                        nbytes=view.nbytes(model),
+                        live_replicas=len(live),
+                    )
+                )
+            else:
+                infos.append(
+                    ShardInfo(
+                        shard_id=shard,
+                        num_sources=0,
+                        num_edges=0,
+                        nbytes=0,
+                        live_replicas=0,
+                    )
+                )
+        return infos
+
     def total_nbytes(self, model: MemoryModel = DEFAULT_MEMORY_MODEL) -> int:
-        """Cluster-wide modeled memory."""
+        """Cluster-wide modeled memory (primary replicas only, so the
+        figure stays comparable across replication factors)."""
         return sum(s.nbytes(model) for s in self.servers)
 
     def reset_stats(self) -> None:
-        """Clear server request counters (and network stats if present)."""
-        for s in self.servers:
-            s.stats.reset()
+        """Clear server, network, fault, and retry counters."""
+        for group in self.replica_groups:
+            for s in group:
+                s.stats.reset()
         if self.network is not None:
             self.network.stats.reset()
+        if self.fault_injector is not None:
+            self.fault_injector.stats.reset()
+        if self.retry is not None:
+            self.retry.stats.reset()

@@ -1,0 +1,190 @@
+"""Seeded fault injection for the distributed tier.
+
+The paper's storage tier runs on 54 of 74 physical servers under live
+WeChat traffic — at that scale transient RPC failures, latency spikes,
+and outright shard crashes are routine operating conditions, not edge
+cases.  This module makes them reproducible: a :class:`FaultInjector`
+sits in front of every :class:`~repro.distributed.server.GraphServer`
+endpoint and, driven by one seeded RNG, injects the three fault kinds of
+a :class:`FaultPolicy`:
+
+* **transient RPC errors** (:class:`~repro.errors.TransientRPCError`) —
+  the request never reaches the endpoint body, so retrying is safe;
+* **latency spikes** — extra simulated seconds charged to the
+  :class:`~repro.distributed.rpc.NetworkModel` (slow replica /
+  congested link), visible to retry deadlines;
+* **hard crashes** — the server's volatile state is dropped
+  (:meth:`GraphServer.crash`) and the request fails with
+  :class:`~repro.errors.ShardUnavailableError`; the shard stays down
+  until explicitly recovered.
+
+Because the injector raises *before* the endpoint body runs, injected
+faults never leave partial state behind — the property the chaos soak
+test (tests/test_chaos.py) relies on when it asserts recovered state
+equals a fault-free reference run.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import (
+    ConfigurationError,
+    ShardUnavailableError,
+    TransientRPCError,
+)
+
+__all__ = ["FaultPolicy", "FaultStats", "FaultInjector"]
+
+
+def _check_rate(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ConfigurationError(f"{name} must be in [0, 1], got {value}")
+
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """Per-request fault probabilities (evaluated independently).
+
+    All rates are per *endpoint request* — the unit the client already
+    accounts as one simulated message.
+    """
+
+    transient_error_rate: float = 0.0
+    latency_spike_rate: float = 0.0
+    latency_spike_seconds: float = 5e-3
+    crash_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        _check_rate("transient_error_rate", self.transient_error_rate)
+        _check_rate("latency_spike_rate", self.latency_spike_rate)
+        _check_rate("crash_rate", self.crash_rate)
+        if self.latency_spike_seconds < 0:
+            raise ConfigurationError("latency_spike_seconds must be >= 0")
+
+
+@dataclass
+class FaultStats:
+    """Counters of injected faults (cluster-wide when the injector is
+    shared)."""
+
+    requests: int = 0
+    transient_errors: int = 0
+    latency_spikes: int = 0
+    spike_seconds: float = 0.0
+    crashes: int = 0
+    refused_while_down: int = 0
+
+    def reset(self) -> None:
+        self.requests = 0
+        self.transient_errors = 0
+        self.latency_spikes = 0
+        self.spike_seconds = 0.0
+        self.crashes = 0
+        self.refused_while_down = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "transient_errors": self.transient_errors,
+            "latency_spikes": self.latency_spikes,
+            "spike_seconds": self.spike_seconds,
+            "crashes": self.crashes,
+            "refused_while_down": self.refused_while_down,
+        }
+
+
+class FaultInjector:
+    """Seeded chaos source wrapped around graph-server endpoints.
+
+    One injector is normally shared by every server of a cluster so a
+    single seed reproduces the whole cluster's fault schedule.
+
+    Parameters
+    ----------
+    policy:
+        The fault probabilities.
+    seed:
+        Seeds the injector's private RNG — the same seed over the same
+        request sequence injects the same faults.
+    network:
+        Optional :class:`~repro.distributed.rpc.NetworkModel`; latency
+        spikes are charged to it so retry deadlines observe them.
+    """
+
+    __slots__ = ("policy", "network", "stats", "_rng", "_armed")
+
+    def __init__(
+        self,
+        policy: FaultPolicy,
+        seed: int = 0,
+        network=None,
+    ) -> None:
+        self.policy = policy
+        self.network = network
+        self.stats = FaultStats()
+        self._rng = random.Random(seed)
+        self._armed = True
+
+    # ------------------------------------------------------------------
+    # arming (chaos tests pause injection during verification phases)
+    # ------------------------------------------------------------------
+    @property
+    def armed(self) -> bool:
+        return self._armed
+
+    def pause(self) -> None:
+        """Stop injecting (verification phases of chaos tests)."""
+        self._armed = False
+
+    def resume(self) -> None:
+        self._armed = True
+
+    # ------------------------------------------------------------------
+    # the hook servers call on every endpoint entry
+    # ------------------------------------------------------------------
+    def on_request(self, server, endpoint: str) -> float:
+        """Roll the dice for one request against ``server``.
+
+        Returns extra simulated latency seconds (0.0 normally); raises
+        :class:`TransientRPCError` or — after crashing the server —
+        :class:`ShardUnavailableError`.
+        """
+        if not self._armed:
+            return 0.0
+        self.stats.requests += 1
+        rng = self._rng
+        policy = self.policy
+        if policy.crash_rate and rng.random() < policy.crash_rate:
+            self.stats.crashes += 1
+            server.crash()
+            raise ShardUnavailableError(
+                f"injected crash: shard {server.shard_id} replica "
+                f"{server.replica_index} went down during {endpoint!r}"
+            )
+        if (
+            policy.transient_error_rate
+            and rng.random() < policy.transient_error_rate
+        ):
+            self.stats.transient_errors += 1
+            raise TransientRPCError(
+                f"injected transient fault on shard {server.shard_id} "
+                f"replica {server.replica_index} endpoint {endpoint!r}"
+            )
+        if (
+            policy.latency_spike_rate
+            and rng.random() < policy.latency_spike_rate
+        ):
+            spike = policy.latency_spike_seconds
+            self.stats.latency_spikes += 1
+            self.stats.spike_seconds += spike
+            if self.network is not None:
+                self.network.sleep(spike)
+            return spike
+        return 0.0
+
+    def note_refused(self) -> None:
+        """Count a request refused because the shard was already down."""
+        self.stats.refused_while_down += 1

@@ -1,0 +1,194 @@
+"""Retry with exponential backoff + jitter for the distributed client.
+
+Every :class:`~repro.distributed.client.GraphClient` read and write path
+runs its per-shard RPCs through a :class:`RetryPolicy`:
+
+* :class:`~repro.errors.TransientRPCError` is retried up to
+  ``max_attempts`` times with exponential backoff and seeded jitter;
+* backoff sleeps are **simulated** — charged to the
+  :class:`~repro.distributed.rpc.NetworkModel` clock (never
+  ``time.sleep``), so the whole cluster remains a deterministic,
+  fast-running simulation;
+* a per-request ``deadline_seconds`` is enforced against the same
+  simulated clock (send costs + latency spikes + backoff all advance
+  it), raising :class:`~repro.errors.DeadlineExceededError`;
+* exhausting the attempt budget raises
+  :class:`~repro.errors.RetryExhaustedError` (chained to the last
+  transient failure).
+
+:class:`~repro.errors.ShardUnavailableError` is deliberately **not**
+retried here — a crashed shard stays crashed until recovered, so the
+client handles it one level up via replica failover / graceful
+degradation instead of burning the attempt budget.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Optional, TypeVar
+
+from repro.errors import (
+    ConfigurationError,
+    DeadlineExceededError,
+    RetryExhaustedError,
+    TransientRPCError,
+)
+
+__all__ = ["RetryPolicy", "RetryStats"]
+
+T = TypeVar("T")
+
+
+@dataclass
+class RetryStats:
+    """Counters of retry activity (shared across requests)."""
+
+    attempts: int = 0
+    retries: int = 0
+    transient_failures: int = 0
+    recoveries: int = 0
+    exhausted: int = 0
+    deadline_exceeded: int = 0
+    backoff_seconds: float = 0.0
+
+    def reset(self) -> None:
+        self.attempts = 0
+        self.retries = 0
+        self.transient_failures = 0
+        self.recoveries = 0
+        self.exhausted = 0
+        self.deadline_exceeded = 0
+        self.backoff_seconds = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "attempts": self.attempts,
+            "retries": self.retries,
+            "transient_failures": self.transient_failures,
+            "recoveries": self.recoveries,
+            "exhausted": self.exhausted,
+            "deadline_exceeded": self.deadline_exceeded,
+            "backoff_seconds": self.backoff_seconds,
+        }
+
+
+@dataclass
+class RetryPolicy:
+    """Exponential backoff + jitter over simulated time.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total tries per request (first attempt included).
+    base_backoff_seconds:
+        Backoff before the second attempt; doubles (``backoff_multiplier``)
+        per subsequent retry.
+    backoff_multiplier:
+        Geometric growth factor of the backoff.
+    jitter:
+        Fractional jitter: each delay is scaled by a seeded uniform draw
+        from ``[1 - jitter, 1 + jitter]`` (decorrelates replica retry
+        storms).
+    deadline_seconds:
+        Optional per-request budget of *simulated* seconds — measured on
+        the clock passed to :meth:`run` (the network model's
+        ``simulated_seconds`` in the client).
+    seed:
+        Seeds the jitter RNG so retry schedules are reproducible.
+    """
+
+    max_attempts: int = 4
+    base_backoff_seconds: float = 1e-3
+    backoff_multiplier: float = 2.0
+    jitter: float = 0.5
+    deadline_seconds: Optional[float] = None
+    seed: int = 0
+    stats: RetryStats = field(default_factory=RetryStats)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_backoff_seconds < 0:
+            raise ConfigurationError("base_backoff_seconds must be >= 0")
+        if self.backoff_multiplier < 1.0:
+            raise ConfigurationError("backoff_multiplier must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigurationError(
+                f"jitter must be in [0, 1], got {self.jitter}"
+            )
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            raise ConfigurationError("deadline_seconds must be > 0")
+        self._rng = random.Random(self.seed)
+
+    # ------------------------------------------------------------------
+    def backoff_for(self, attempt: int) -> float:
+        """Jittered delay before retry number ``attempt`` (1-based)."""
+        delay = self.base_backoff_seconds * (
+            self.backoff_multiplier ** (attempt - 1)
+        )
+        if self.jitter:
+            delay *= 1.0 + self.jitter * (2.0 * self._rng.random() - 1.0)
+        return delay
+
+    def run(
+        self,
+        fn: Callable[[], T],
+        now: Optional[Callable[[], float]] = None,
+        sleep: Optional[Callable[[float], object]] = None,
+    ) -> T:
+        """Invoke ``fn`` with retries on :class:`TransientRPCError`.
+
+        ``now`` reads the simulated clock (defaults to a private virtual
+        clock advanced only by backoff); ``sleep`` accounts a simulated
+        backoff sleep (the client passes ``NetworkModel.sleep``).  Any
+        exception other than :class:`TransientRPCError` propagates
+        untouched.
+        """
+        virtual = 0.0
+        start = now() if now is not None else 0.0
+
+        def elapsed() -> float:
+            return (now() - start) if now is not None else virtual
+
+        last_exc: Optional[TransientRPCError] = None
+        for attempt in range(1, self.max_attempts + 1):
+            self.stats.attempts += 1
+            try:
+                result = fn()
+            except TransientRPCError as exc:
+                last_exc = exc
+                self.stats.transient_failures += 1
+                deadline = self.deadline_seconds
+                if deadline is not None and elapsed() >= deadline:
+                    self.stats.deadline_exceeded += 1
+                    raise DeadlineExceededError(
+                        f"request deadline of {deadline}s exceeded after "
+                        f"{attempt} attempt(s) "
+                        f"({elapsed():.6f}s simulated)"
+                    ) from exc
+                if attempt == self.max_attempts:
+                    break
+                delay = self.backoff_for(attempt)
+                if deadline is not None and elapsed() + delay >= deadline:
+                    self.stats.deadline_exceeded += 1
+                    raise DeadlineExceededError(
+                        f"request deadline of {deadline}s would elapse "
+                        f"during backoff (attempt {attempt})"
+                    ) from exc
+                self.stats.retries += 1
+                self.stats.backoff_seconds += delay
+                if sleep is not None:
+                    sleep(delay)
+                else:
+                    virtual += delay
+            else:
+                if attempt > 1:
+                    self.stats.recoveries += 1
+                return result
+        self.stats.exhausted += 1
+        raise RetryExhaustedError(
+            f"request failed on all {self.max_attempts} attempts"
+        ) from last_exc

@@ -20,16 +20,32 @@ __all__ = ["NetworkModel", "NetworkStats"]
 
 @dataclass
 class NetworkStats:
-    """Counters of simulated traffic."""
+    """Counters of simulated traffic.
+
+    ``simulated_seconds`` is the cluster's simulated clock: it advances
+    on every :meth:`NetworkModel.send` *and* every simulated sleep
+    (:meth:`NetworkModel.sleep`, used by retry backoff and injected
+    latency spikes), so per-request deadlines measure transfer cost and
+    backoff on one consistent time base.
+    """
 
     messages: int = 0
     payload_bytes: int = 0
     simulated_seconds: float = 0.0
+    #: Transfer cost of the most recent :meth:`NetworkModel.send` —
+    #: the per-request latency the client propagates to retry deadlines.
+    last_send_seconds: float = 0.0
+    #: Simulated sleeps (retry backoff, injected latency spikes).
+    sleeps: int = 0
+    slept_seconds: float = 0.0
 
     def reset(self) -> None:
         self.messages = 0
         self.payload_bytes = 0
         self.simulated_seconds = 0.0
+        self.last_send_seconds = 0.0
+        self.sleeps = 0
+        self.slept_seconds = 0.0
 
 
 @dataclass
@@ -59,4 +75,22 @@ class NetworkModel:
         self.stats.messages += 1
         self.stats.payload_bytes += payload_bytes
         self.stats.simulated_seconds += cost
+        self.stats.last_send_seconds = cost
         return cost
+
+    def sleep(self, seconds: float) -> float:
+        """Advance the simulated clock without sending anything.
+
+        Used for retry backoff and injected latency spikes — never a
+        real ``time.sleep``, so chaos runs stay fast and deterministic.
+        """
+        if seconds < 0:
+            raise ConfigurationError(f"sleep seconds must be >= 0, got {seconds}")
+        self.stats.sleeps += 1
+        self.stats.slept_seconds += seconds
+        self.stats.simulated_seconds += seconds
+        return seconds
+
+    def now(self) -> float:
+        """The simulated clock (transfer costs + sleeps so far)."""
+        return self.stats.simulated_seconds

@@ -5,12 +5,29 @@ attribute store for the features of vertices it hosts.  Its interface is
 batch-first — the client ships one message per (server, request kind)
 per batch — and it counts requests so benchmarks can report routing
 fan-out.
+
+Fault tolerance (the production posture of the paper's 54-server
+storage tier):
+
+* every endpoint passes through :meth:`_serve`, which refuses requests
+  while the server is down (:class:`~repro.errors.ShardUnavailableError`)
+  and gives an attached :class:`~repro.distributed.faults.FaultInjector`
+  the chance to inject transient errors, latency spikes, or crashes;
+* when a :class:`~repro.storage.wal.ShardWAL` is attached, every
+  mutation is appended to the log **before** it is applied (write-ahead),
+  and :meth:`checkpoint` captures a full binary image and truncates the
+  log;
+* :meth:`crash` drops all volatile state (store + attributes);
+  :meth:`recover` rebuilds it from the last checkpoint plus a WAL-tail
+  replay through the columnar bulk-ingest path — or, when a live peer
+  replica is given, from a state transfer off that peer.
 """
 
 from __future__ import annotations
 
+import io
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -19,50 +36,228 @@ from repro.core.samtree import SamtreeConfig
 from repro.core.snapshot import RNGLike
 from repro.core.topology import DynamicGraphStore
 from repro.core.types import DEFAULT_ETYPE, EdgeOp, GraphStoreAPI
+from repro.errors import ConfigurationError, ShardUnavailableError
 from repro.storage.attributes import AttributeStore
+from repro.storage.checkpoint import (
+    load_attributes,
+    load_store,
+    save_attributes,
+    save_store,
+)
+from repro.storage.wal import ShardWAL
 
 __all__ = ["GraphServer", "ServerStats"]
 
 
 @dataclass
 class ServerStats:
-    """Per-server request counters."""
+    """Per-server request counters.
+
+    Every endpoint bumps exactly one request counter — scalar op batches
+    (``update_requests``) and columnar ingests (``ingest_requests``) are
+    counted separately so dashboards can tell the two write shapes
+    apart; all read endpoints (sampling, adjacency, degrees) count as
+    ``sample_requests``.
+    """
 
     update_requests: int = 0
+    ingest_requests: int = 0
     sample_requests: int = 0
     attribute_requests: int = 0
     ops_applied: int = 0
+    recoveries: int = 0
+    wal_records_replayed: int = 0
 
     def reset(self) -> None:
         self.update_requests = 0
+        self.ingest_requests = 0
         self.sample_requests = 0
         self.attribute_requests = 0
         self.ops_applied = 0
+        self.recoveries = 0
+        self.wal_records_replayed = 0
 
 
 class GraphServer:
-    """One storage shard: a topology store + an attribute store."""
+    """One storage shard: a topology store + an attribute store.
+
+    Parameters
+    ----------
+    shard_id:
+        Which shard of the partitioner this server owns.
+    store:
+        Optional pre-built topology store (otherwise a fresh
+        :class:`DynamicGraphStore` with ``config``).
+    config:
+        Samtree parameters of the default store.
+    wal:
+        Optional :class:`ShardWAL`; attaching one turns on write-ahead
+        durability for the topology (attributes are durable via
+        :meth:`checkpoint` only).
+    faults:
+        Optional :class:`FaultInjector` consulted on every endpoint.
+    store_factory:
+        How to rebuild an empty store on recovery without a checkpoint
+        (defaults to ``DynamicGraphStore(config)``).
+    replica_index:
+        Position of this server inside its shard's replica group
+        (0 = primary).
+    """
 
     def __init__(
         self,
         shard_id: int,
         store: Optional[GraphStoreAPI] = None,
         config: Optional[SamtreeConfig] = None,
+        wal: Optional[ShardWAL] = None,
+        faults=None,
+        store_factory: Optional[Callable[[], GraphStoreAPI]] = None,
+        replica_index: int = 0,
     ) -> None:
         self.shard_id = shard_id
-        self.store: GraphStoreAPI = (
-            store if store is not None else DynamicGraphStore(config)
+        self.replica_index = replica_index
+        self._config = config
+        self._store_factory = store_factory
+        self.store: Optional[GraphStoreAPI] = (
+            store if store is not None else self._fresh_store()
         )
-        self.attributes = AttributeStore()
+        self.attributes: Optional[AttributeStore] = AttributeStore()
         self.stats = ServerStats()
+        self.wal = wal
+        self.faults = faults
+        self._alive = True
+        # Durable (survives crash) checkpoint images of this replica.
+        self._checkpoint_topology: Optional[bytes] = None
+        self._checkpoint_attributes: Optional[bytes] = None
+
+    def _fresh_store(self) -> GraphStoreAPI:
+        if self._store_factory is not None:
+            return self._store_factory()
+        return DynamicGraphStore(self._config)
+
+    # ------------------------------------------------------------------
+    # availability / fault hooks
+    # ------------------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        """Whether this replica is serving requests."""
+        return self._alive
+
+    def _serve(self, endpoint: str) -> None:
+        """Endpoint prologue: refuse while down, roll injected faults."""
+        if not self._alive:
+            if self.faults is not None:
+                self.faults.note_refused()
+            raise ShardUnavailableError(
+                f"shard {self.shard_id} replica {self.replica_index} is "
+                f"down (endpoint {endpoint!r})"
+            )
+        if self.faults is not None:
+            self.faults.on_request(self, endpoint)
+
+    # ------------------------------------------------------------------
+    # crash / checkpoint / recovery
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Simulate a hard crash: all volatile state is lost.
+
+        The WAL and checkpoint images model durable storage and
+        survive; every endpoint raises :class:`ShardUnavailableError`
+        until :meth:`recover` is called.  Idempotent.
+        """
+        self._alive = False
+        self.store = None
+        self.attributes = None
+
+    def checkpoint(self) -> int:
+        """Capture a durable binary image and truncate the WAL.
+
+        Returns the checkpoint size in bytes.  Requires the samtree
+        store (binary image format of :mod:`repro.storage.checkpoint`).
+        """
+        if not self._alive:
+            raise ShardUnavailableError(
+                f"cannot checkpoint crashed shard {self.shard_id} "
+                f"replica {self.replica_index}"
+            )
+        if not isinstance(self.store, DynamicGraphStore):
+            raise ConfigurationError(
+                "checkpointing requires the samtree-backed "
+                "DynamicGraphStore; baseline stores are not durable"
+            )
+        buf = io.BytesIO()
+        save_store(self.store, buf)
+        self._checkpoint_topology = buf.getvalue()
+        abuf = io.BytesIO()
+        save_attributes(self.attributes, abuf)
+        self._checkpoint_attributes = abuf.getvalue()
+        if self.wal is not None:
+            self.wal.truncate()
+        return len(self._checkpoint_topology) + len(
+            self._checkpoint_attributes
+        )
+
+    def recover(self, sync_from: Optional["GraphServer"] = None) -> int:
+        """Rebuild state and come back up; returns WAL records replayed.
+
+        Without ``sync_from``: load the last checkpoint (or start empty)
+        and replay the WAL tail through the columnar bulk-ingest path.
+
+        With a live ``sync_from`` peer replica: perform a state transfer
+        (serialize the peer's store + attributes into this replica's
+        checkpoint, truncate the local WAL) — the path a rejoining
+        backup takes after missing writes while it was down.
+        """
+        if self._alive and self.store is not None:
+            return 0
+        if sync_from is not None:
+            if not sync_from.alive:
+                raise ShardUnavailableError(
+                    f"cannot sync shard {self.shard_id} replica "
+                    f"{self.replica_index} from a dead peer"
+                )
+            if not isinstance(sync_from.store, DynamicGraphStore):
+                raise ConfigurationError(
+                    "peer state transfer requires the samtree store"
+                )
+            buf = io.BytesIO()
+            save_store(sync_from.store, buf)
+            self._checkpoint_topology = buf.getvalue()
+            abuf = io.BytesIO()
+            save_attributes(sync_from.attributes, abuf)
+            self._checkpoint_attributes = abuf.getvalue()
+            if self.wal is not None:
+                self.wal.truncate()
+        if self._checkpoint_topology is not None:
+            self.store = load_store(io.BytesIO(self._checkpoint_topology))
+        else:
+            self.store = self._fresh_store()
+        if self._checkpoint_attributes is not None:
+            self.attributes = load_attributes(
+                io.BytesIO(self._checkpoint_attributes)
+            )
+        else:
+            self.attributes = AttributeStore()
+        replayed = 0
+        if self.wal is not None:
+            for batch in self.wal.replay():
+                self.store.apply_edge_batch(batch)
+                replayed += 1
+        self._alive = True
+        self.stats.recoveries += 1
+        self.stats.wal_records_replayed += replayed
+        return replayed
 
     # ------------------------------------------------------------------
     # update path
     # ------------------------------------------------------------------
     def apply_ops(self, ops: Sequence[EdgeOp]) -> List[bool]:
         """Apply a batch of edge operations owned by this shard."""
+        self._serve("apply_ops")
         self.stats.update_requests += 1
         self.stats.ops_applied += len(ops)
+        if self.wal is not None:
+            self.wal.append_ops(ops)
         return [self.store.apply(op) for op in ops]
 
     def ingest_batch(self, batch):
@@ -74,8 +269,11 @@ class GraphServer:
         samtree store, per-row replay elsewhere).  Returns the shard's
         :class:`~repro.core.ingest.IngestStats`.
         """
-        self.stats.update_requests += 1
+        self._serve("ingest_batch")
+        self.stats.ingest_requests += 1
         self.stats.ops_applied += len(batch)
+        if self.wal is not None:
+            self.wal.append_batch(batch)
         return self.store.apply_edge_batch(batch)
 
     # ------------------------------------------------------------------
@@ -91,6 +289,7 @@ class GraphServer:
         """One batched request: the shard's store answers the whole
         source list through its vectorized read path (snapshot cache on
         the samtree store, loop fallback elsewhere)."""
+        self._serve("sample_neighbors_many")
         self.stats.sample_requests += 1
         return self.store.sample_neighbors_many(srcs, k, rng, etype)
 
@@ -102,6 +301,7 @@ class GraphServer:
         etype: int = DEFAULT_ETYPE,
     ):
         """Uniform variant of :meth:`sample_neighbors_many`."""
+        self._serve("sample_neighbors_uniform_many")
         self.stats.sample_requests += 1
         return self.store.sample_neighbors_uniform_many(srcs, k, rng, etype)
 
@@ -121,6 +321,7 @@ class GraphServer:
         self, srcs: Sequence[int], etype: int = DEFAULT_ETYPE
     ) -> List[List[Tuple[int, float]]]:
         """Full adjacency fetch (used by full-neighborhood aggregation)."""
+        self._serve("neighbors_batch")
         self.stats.sample_requests += 1
         return [self.store.neighbors(s, etype) for s in srcs]
 
@@ -128,15 +329,44 @@ class GraphServer:
         self, srcs: Sequence[int], etype: int = DEFAULT_ETYPE
     ) -> List[int]:
         """Out-degrees of the given sources."""
+        self._serve("degrees")
+        self.stats.sample_requests += 1
         return [self.store.degree(s, etype) for s in srcs]
+
+    def edge_weights(
+        self,
+        pairs: Sequence[Tuple[int, int]],
+        etype: int = DEFAULT_ETYPE,
+    ) -> List[Optional[float]]:
+        """Weights of the given ``(src, dst)`` pairs (``None`` when
+        absent)."""
+        self._serve("edge_weights")
+        self.stats.sample_requests += 1
+        return [self.store.edge_weight(s, d, etype) for s, d in pairs]
 
     # ------------------------------------------------------------------
     # attribute path
     # ------------------------------------------------------------------
+    def register_attribute(self, name: str, dim: int, dtype=None) -> None:
+        """Declare an attribute field on this shard."""
+        self._serve("register_attribute")
+        self.stats.attribute_requests += 1
+        if dtype is None:
+            self.attributes.register(name, dim)
+        else:
+            self.attributes.register(name, dim, dtype)
+
+    def put_attribute(self, name: str, vertex: int, value) -> None:
+        """Write one hosted vertex's feature vector."""
+        self._serve("put_attribute")
+        self.stats.attribute_requests += 1
+        self.attributes.put(name, vertex, value)
+
     def gather_attributes(
         self, name: str, vertices: Sequence[int]
     ) -> np.ndarray:
         """Feature rows for vertices hosted on this shard."""
+        self._serve("gather_attributes")
         self.stats.attribute_requests += 1
         return self.attributes.gather(name, vertices)
 
@@ -144,5 +374,10 @@ class GraphServer:
     # accounting
     # ------------------------------------------------------------------
     def nbytes(self, model: MemoryModel = DEFAULT_MEMORY_MODEL) -> int:
-        """Modeled bytes of this shard (topology + attributes)."""
+        """Modeled bytes of this shard (topology + attributes).
+
+        A crashed replica holds no volatile state, so it reports 0.
+        """
+        if not self._alive or self.store is None:
+            return 0
         return self.store.nbytes(model) + self.attributes.nbytes()

@@ -61,3 +61,40 @@ class ShapeError(ReproError, ValueError):
 
 class ConfigurationError(ReproError, ValueError):
     """A component was constructed with invalid parameters."""
+
+
+class RPCError(ReproError, ConnectionError):
+    """Base class for simulated RPC failures in the distributed tier."""
+
+
+class TransientRPCError(RPCError):
+    """A request failed transiently (dropped packet, brief overload).
+
+    Safe to retry: the server did **not** observe the request.  Raised by
+    the fault injector before the endpoint body runs, so a transient
+    failure never leaves partial state behind.
+    """
+
+
+class ShardUnavailableError(RPCError):
+    """A shard (or every replica of it) is down.
+
+    Retrying against the same replica will not help — callers fail over
+    to another replica, degrade gracefully, or surface the outage.
+    """
+
+
+class RetryExhaustedError(RPCError):
+    """A retried request failed on every allowed attempt."""
+
+
+class DeadlineExceededError(RPCError, TimeoutError):
+    """A request's simulated-time deadline elapsed before it succeeded."""
+
+
+class WALCorruptionError(ReproError, ValueError):
+    """A write-ahead log record failed its integrity check mid-file.
+
+    A *torn tail* (truncated final record after a crash) is expected and
+    tolerated by replay; corruption before the tail is not.
+    """

@@ -1,5 +1,5 @@
 """Storage substrates: cuckoo directory, block KV store, attribute store,
-and binary checkpointing."""
+binary checkpointing, and the per-shard write-ahead log."""
 
 from repro.storage.attributes import AttributeSchema, AttributeStore
 from repro.storage.checkpoint import (
@@ -10,6 +10,7 @@ from repro.storage.checkpoint import (
 )
 from repro.storage.cuckoo import CuckooHashMap
 from repro.storage.kvstore import BlockKVStore
+from repro.storage.wal import ShardWAL
 
 __all__ = [
     "AttributeSchema",
@@ -20,4 +21,5 @@ __all__ = [
     "save_store",
     "CuckooHashMap",
     "BlockKVStore",
+    "ShardWAL",
 ]

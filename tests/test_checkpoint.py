@@ -8,6 +8,7 @@ import random
 import numpy as np
 import pytest
 
+from repro.core.ingest import OP_DELETE, OP_INSERT, OP_UPDATE, EdgeBatch
 from repro.core.samtree import SamtreeConfig
 from repro.core.topology import DynamicGraphStore
 from repro.errors import ConfigurationError
@@ -105,6 +106,172 @@ class TestStoreRoundtrip:
         save_store(random_store(seed=3), a)
         save_store(random_store(seed=3), b)
         assert a.getvalue() == b.getvalue()
+
+
+class TestBulkBuiltRoundtrip:
+    """Snapshots of stores built through the *columnar* ingest path.
+
+    The incremental and bulk write paths produce structurally different
+    samtrees (bottom-up packed leaves vs. insert-split growth); the
+    checkpoint codec must roundtrip both, and a bulk-built snapshot must
+    be byte-identical to the snapshot of the reloaded copy (the codec is
+    canonical over the logical adjacency it encodes).
+    """
+
+    @staticmethod
+    def _assert_equivalent(a: DynamicGraphStore, b: DynamicGraphStore):
+        assert b.num_edges == a.num_edges
+        assert b.num_sources == a.num_sources
+        assert sorted(b.etypes()) == sorted(a.etypes())
+        for etype in a.etypes():
+            assert sorted(b.sources(etype)) == sorted(a.sources(etype))
+            for src in a.sources(etype):
+                expected = dict(a.neighbors(src, etype))
+                got = dict(b.neighbors(src, etype))
+                assert got.keys() == expected.keys()
+                assert got == pytest.approx(expected)
+        b.check_invariants()
+
+    def test_bulk_load_roundtrip(self):
+        rng = random.Random(31)
+        n = 3000
+        store = DynamicGraphStore(SamtreeConfig(capacity=8))
+        store.bulk_load(
+            [rng.randrange(60) for _ in range(n)],
+            [rng.randrange(10**6) for _ in range(n)],
+            [round(rng.random() * 9 + 0.01, 4) for _ in range(n)],
+            [rng.randrange(3) for _ in range(n)],
+        )
+        buf = io.BytesIO()
+        save_store(store, buf)
+        loaded = load_store(io.BytesIO(buf.getvalue()))
+        self._assert_equivalent(store, loaded)
+
+    def test_mixed_op_batch_roundtrip(self):
+        """apply_edge_batch with inserts/updates/deletes interleaved —
+        including updates folding over inserts within one batch."""
+        rng = random.Random(77)
+        store = DynamicGraphStore(SamtreeConfig(capacity=4))
+        for _ in range(5):
+            n = 400
+            store.apply_edge_batch(
+                EdgeBatch(
+                    [rng.randrange(25) for _ in range(n)],
+                    [rng.randrange(60) for _ in range(n)],
+                    [round(rng.random() * 4 + 0.01, 4) for _ in range(n)],
+                    [rng.randrange(2) for _ in range(n)],
+                    [
+                        rng.choices(
+                            [OP_INSERT, OP_UPDATE, OP_DELETE],
+                            weights=[5, 3, 2],
+                        )[0]
+                        for _ in range(n)
+                    ],
+                )
+            )
+        buf = io.BytesIO()
+        save_store(store, buf)
+        loaded = load_store(io.BytesIO(buf.getvalue()))
+        self._assert_equivalent(store, loaded)
+
+    def test_deletes_emptying_trees_roundtrip(self):
+        """A batch that deletes a source's entire neighborhood must not
+        leave a phantom (empty-tree) section in the snapshot."""
+        store = DynamicGraphStore(SamtreeConfig(capacity=4))
+        store.bulk_load([1] * 6 + [2] * 3, list(range(9)), 1.0, 0)
+        store.apply_edge_batch(
+            EdgeBatch([1] * 6, list(range(6)), 1.0, 0, OP_DELETE)
+        )
+        assert store.degree(1, 0) == 0
+        buf = io.BytesIO()
+        save_store(store, buf)
+        loaded = load_store(io.BytesIO(buf.getvalue()))
+        self._assert_equivalent(store, loaded)
+        assert loaded.degree(1, 0) == 0
+        assert dict(loaded.neighbors(2, 0)) == pytest.approx(
+            {0 + 6: 1.0, 1 + 6: 1.0, 2 + 6: 1.0}
+        )
+
+    def test_bulk_and_incremental_reloads_equivalent(self):
+        """The two write paths grow structurally different trees (packed
+        bottom-up leaves vs. insert-split growth), so their snapshots
+        need not be byte-identical (tree order and ULP-level weight
+        reconstruction differ between them) — but a reload of either
+        must present the same logical adjacency, and repeated
+        ``save → load`` cycles must not let weights walk away from the
+        original values (drift stays within float tolerance)."""
+        rng = random.Random(5)
+        rows = [
+            (rng.randrange(30), d, round(rng.random() * 3 + 0.01, 4))
+            for d in range(800)
+        ]
+        bulk = DynamicGraphStore(SamtreeConfig(capacity=8))
+        bulk.bulk_load(
+            [r[0] for r in rows],
+            [r[1] for r in rows],
+            [r[2] for r in rows],
+            0,
+        )
+        inc = DynamicGraphStore(SamtreeConfig(capacity=8))
+        for s, d, w in rows:
+            inc.add_edge(s, d, w)
+        for store in (bulk, inc):
+            current = store
+            for _ in range(3):  # drift must not compound over cycles
+                buf = io.BytesIO()
+                save_store(current, buf)
+                current = load_store(io.BytesIO(buf.getvalue()))
+                self._assert_equivalent(store, current)
+        self._assert_equivalent(bulk, inc)
+
+    def test_reload_then_mutate_then_snapshot_again(self):
+        """A reloaded bulk-built store keeps working as a live store:
+        more columnar churn applies cleanly and re-snapshots."""
+        rng = random.Random(13)
+        store = DynamicGraphStore(SamtreeConfig(capacity=8))
+        store.bulk_load(
+            [rng.randrange(20) for _ in range(500)],
+            [rng.randrange(200) for _ in range(500)],
+            1.0,
+            0,
+        )
+        buf = io.BytesIO()
+        save_store(store, buf)
+        loaded = load_store(io.BytesIO(buf.getvalue()))
+        batch = EdgeBatch(
+            [rng.randrange(20) for _ in range(300)],
+            [rng.randrange(200) for _ in range(300)],
+            [round(rng.random() + 0.01, 4) for _ in range(300)],
+            0,
+            [
+                rng.choices([OP_INSERT, OP_DELETE], weights=[3, 1])[0]
+                for _ in range(300)
+            ],
+        )
+        store.apply_edge_batch(batch)
+        loaded.apply_edge_batch(batch)
+        self._assert_equivalent(store, loaded)
+
+    def test_store_and_attribute_sections_share_a_buffer(self):
+        """A combined snapshot — topology section followed by the
+        attribute section in one stream — reloads both (the layout the
+        server's checkpoint/recover cycle relies on)."""
+        store = DynamicGraphStore(SamtreeConfig(capacity=8))
+        store.bulk_load(
+            list(range(10)) * 3, list(range(30)), 2.0, 0
+        )
+        attrs = AttributeStore()
+        attrs.register("feat", 3)
+        for v in range(10):
+            attrs.put("feat", v, [float(v), 0.5, -1.0])
+        buf = io.BytesIO()
+        save_store(store, buf)
+        save_attributes(attrs, buf)
+        buf.seek(0)
+        loaded_store = load_store(buf)
+        loaded_attrs = load_attributes(buf)
+        self._assert_equivalent(store, loaded_store)
+        assert loaded_attrs.get("feat", 7).tolist() == [7.0, 0.5, -1.0]
 
 
 class TestAttributeRoundtrip:
