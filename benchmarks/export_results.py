@@ -134,12 +134,47 @@ def export_table5() -> dict:
     return out
 
 
+def export_obs() -> dict:
+    """Registry snapshot + slow traces of a seeded cluster workload.
+
+    Runs the same churn+sample shape as ``repro obs`` on a small
+    :class:`LocalCluster` and embeds the full
+    :class:`~repro.obs.registry.MetricsRegistry` snapshot plus the
+    slowest trace roots, so the exported document carries the cluster's
+    telemetry alongside the timing sections (DESIGN.md §11).
+    """
+    import random
+
+    from repro.distributed.cluster import LocalCluster
+    from repro.distributed.rpc import NetworkModel
+    from repro.obs.trace import Tracer
+
+    rng = random.Random(0)
+    network = NetworkModel()
+    tracer = Tracer(clock=network.now, seed=0)
+    cluster = LocalCluster(num_servers=4, network=network, tracer=tracer)
+    n = 500
+    srcs = [rng.randrange(n) for _ in range(2000)]
+    dsts = [rng.randrange(n) for _ in range(2000)]
+    cluster.client.bulk_load(srcs, dsts, 1.0)
+    for _ in range(20):
+        frontier = [rng.randrange(n) for _ in range(64)]
+        cluster.client.sample_neighbors_many(frontier, 10, rng)
+    return {
+        "registry_snapshot": cluster.registry.snapshot().to_dict(),
+        "top_slow_traces": [
+            span.to_dict() for span in tracer.top_slow(3)
+        ],
+    }
+
+
 SECTIONS = {
     "table2": export_table2,
     "fig8_table4": export_fig8_table4,
     "fig9": export_fig9,
     "fig10": export_fig10,
     "table5": export_table5,
+    "obs": export_obs,
 }
 
 

@@ -7,7 +7,12 @@ Operational entry points a deployment actually uses:
                    modeled memory, optionally snapshot it to disk;
 * ``inspect``    — load a snapshot and summarise it;
 * ``sample``     — draw weighted neighbor samples from a snapshot;
-* ``selftest``   — run the structural invariant checks on a snapshot.
+* ``selftest``   — run the structural invariant checks on a snapshot;
+* ``obs``        — run a seeded churn+sample workload on an in-process
+                   cluster (optionally with injected faults) and emit
+                   the observability readout: a human report, the
+                   Prometheus text exposition, or a JSON dump
+                   (DESIGN.md §11).
 """
 
 from __future__ import annotations
@@ -112,6 +117,68 @@ def _cmd_selftest(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    """Seeded churn+sample workload on a LocalCluster, then telemetry."""
+    import json
+
+    from repro.distributed.cluster import LocalCluster
+    from repro.distributed.faults import FaultPolicy
+    from repro.distributed.retry import RetryPolicy
+    from repro.distributed.rpc import NetworkModel
+    from repro.obs.export import (
+        lint_prometheus,
+        to_json,
+        to_prometheus_text,
+    )
+    from repro.obs.report import render_report
+    from repro.obs.trace import Tracer
+
+    rng = random.Random(args.seed)
+    network = NetworkModel()
+    tracer = Tracer(clock=network.now, seed=args.seed)
+    fault_policy = None
+    if args.fault_rate > 0:
+        fault_policy = FaultPolicy(transient_error_rate=args.fault_rate)
+    cluster = LocalCluster(
+        num_servers=args.shards,
+        network=network,
+        replication_factor=args.replicas,
+        durable=args.replicas > 1 or fault_policy is not None,
+        fault_policy=fault_policy,
+        fault_seed=args.seed,
+        retry=RetryPolicy(max_attempts=6) if fault_policy else None,
+        tracer=tracer,
+    )
+    client = cluster.client
+    # Churn: columnar bulk load + per-op trickle (both write shapes).
+    n = args.vertices
+    srcs = [rng.randrange(n) for _ in range(args.edges)]
+    dsts = [rng.randrange(n) for _ in range(args.edges)]
+    client.bulk_load(srcs, dsts, 1.0)
+    for _ in range(args.edges // 10):
+        client.add_edge(rng.randrange(n), rng.randrange(n), rng.random())
+        client.remove_edge(rng.randrange(n), rng.randrange(n))
+    # Batched sampling rounds over random frontiers.
+    for _ in range(args.rounds):
+        frontier = [rng.randrange(n) for _ in range(args.batch)]
+        client.sample_neighbors_many(frontier, args.k, rng)
+    if args.format == "prometheus":
+        text = to_prometheus_text(cluster.registry)
+        lint_prometheus(text)  # never emit an invalid exposition
+        print(text, end="")
+    elif args.format == "json":
+        print(
+            json.dumps(
+                to_json(cluster.registry, tracer, top_slow=args.top),
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        print(render_report(cluster, tracer=tracer, top_k=args.top))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -163,6 +230,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_selftest.add_argument("snapshot")
     p_selftest.set_defaults(func=_cmd_selftest)
+
+    p_obs = sub.add_parser(
+        "obs",
+        help="run a churn+sample workload on an in-process cluster and "
+        "print the observability readout",
+    )
+    p_obs.add_argument(
+        "--format",
+        default="human",
+        choices=["human", "prometheus", "json"],
+        help="human report, Prometheus text exposition, or JSON dump",
+    )
+    p_obs.add_argument("--shards", type=int, default=4)
+    p_obs.add_argument(
+        "--replicas", type=int, default=1, help="replicas per shard"
+    )
+    p_obs.add_argument("--vertices", type=int, default=500)
+    p_obs.add_argument("--edges", type=int, default=2000)
+    p_obs.add_argument(
+        "--rounds", type=int, default=20, help="batched sampling rounds"
+    )
+    p_obs.add_argument("--batch", type=int, default=64)
+    p_obs.add_argument("--k", type=int, default=10, help="sample fanout")
+    p_obs.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.0,
+        help="transient fault probability per request (adds a retrying "
+        "client when > 0)",
+    )
+    p_obs.add_argument(
+        "--top", type=int, default=5, help="slow traces to show"
+    )
+    p_obs.add_argument("--seed", type=int, default=0)
+    p_obs.set_defaults(func=_cmd_obs)
     return parser
 
 

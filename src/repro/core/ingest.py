@@ -105,6 +105,11 @@ class IngestStats:
         self.trees_incremental += other.trees_incremental
         self.trees_created += other.trees_created
 
+    def reset(self) -> None:
+        """Zero every counter in place (registered views stay bound)."""
+        for slot in self.__slots__:
+            setattr(self, slot, 0)
+
     def to_dict(self) -> dict:
         return {s: getattr(self, s) for s in self.__slots__}
 

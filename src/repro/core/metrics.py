@@ -5,9 +5,16 @@ paper's evaluation reports means, but the deployed system necessarily
 watches distributions.  This module provides:
 
 * :class:`LatencyHistogram` — log₂-bucketed latency recording with
-  count/mean/percentile readout, mergeable across threads;
+  count/mean/percentile readout, mergeable across threads.  The class
+  now lives in :mod:`repro.obs.hist` (the telemetry subsystem of
+  DESIGN.md §11) and is re-exported here unchanged for compatibility —
+  with exact ``frexp`` bucketing, a public :meth:`bucket_bounds`
+  accessor, and an honest overflow bucket (the recorded max, not a
+  fabricated bound);
 * :class:`StoreMetrics` — one histogram per operation family
-  (insert / update / delete / sample / read);
+  (insert / update / delete / sample / read), registrable into a
+  :class:`~repro.obs.registry.MetricsRegistry` via
+  :meth:`StoreMetrics.register_into`;
 * :class:`InstrumentedStore` — a :class:`GraphStoreAPI` wrapper that
   times every call into the wrapped store.  Drop-in: benchmarks,
   samplers, the PALM executor, and the distributed client all accept it
@@ -23,92 +30,9 @@ from typing import Dict, Iterator, List, Optional
 from repro.core.memory import DEFAULT_MEMORY_MODEL, MemoryModel
 from repro.core.types import DEFAULT_ETYPE, GraphStoreAPI
 from repro.errors import ConfigurationError
+from repro.obs.hist import LatencyHistogram
 
 __all__ = ["LatencyHistogram", "StoreMetrics", "InstrumentedStore"]
-
-#: Bucket 0 covers < 1 µs; bucket i covers [2^(i-1), 2^i) µs.
-_NUM_BUCKETS = 24
-
-
-class LatencyHistogram:
-    """Log₂-bucketed latency histogram (microsecond resolution)."""
-
-    __slots__ = ("_buckets", "_count", "_sum", "_max")
-
-    def __init__(self) -> None:
-        self._buckets = [0] * _NUM_BUCKETS
-        self._count = 0
-        self._sum = 0.0
-        self._max = 0.0
-
-    def record(self, seconds: float) -> None:
-        """Record one observation."""
-        if seconds < 0:
-            raise ConfigurationError(f"latency cannot be negative: {seconds}")
-        us = seconds * 1e6
-        bucket = 0
-        value = int(us)
-        while value > 0 and bucket < _NUM_BUCKETS - 1:
-            value >>= 1
-            bucket += 1
-        self._buckets[bucket] += 1
-        self._count += 1
-        self._sum += seconds
-        if seconds > self._max:
-            self._max = seconds
-
-    @property
-    def count(self) -> int:
-        return self._count
-
-    @property
-    def mean(self) -> float:
-        """Mean latency in seconds."""
-        return self._sum / self._count if self._count else 0.0
-
-    @property
-    def max(self) -> float:
-        """Largest recorded latency in seconds."""
-        return self._max
-
-    def percentile(self, q: float) -> float:
-        """Approximate latency at quantile ``q`` (bucket upper bound,
-        seconds).  q in [0, 1]."""
-        if not 0.0 <= q <= 1.0:
-            raise ConfigurationError(f"quantile must be in [0, 1], got {q}")
-        if self._count == 0:
-            return 0.0
-        target = q * self._count
-        seen = 0
-        for i, c in enumerate(self._buckets):
-            seen += c
-            if seen >= target:
-                return (1 << i) * 1e-6
-        return self._max
-
-    def merge(self, other: "LatencyHistogram") -> None:
-        """Fold another histogram into this one."""
-        for i in range(_NUM_BUCKETS):
-            self._buckets[i] += other._buckets[i]
-        self._count += other._count
-        self._sum += other._sum
-        self._max = max(self._max, other._max)
-
-    def reset(self) -> None:
-        self._buckets = [0] * _NUM_BUCKETS
-        self._count = 0
-        self._sum = 0.0
-        self._max = 0.0
-
-    def summary(self) -> Dict[str, float]:
-        """count / mean / p50 / p99 / max in one dict (seconds)."""
-        return {
-            "count": float(self._count),
-            "mean": self.mean,
-            "p50": self.percentile(0.50),
-            "p99": self.percentile(0.99),
-            "max": self._max,
-        }
 
 
 class StoreMetrics:
@@ -132,6 +56,21 @@ class StoreMetrics:
     def reset(self) -> None:
         for hist in self.histograms.values():
             hist.reset()
+
+    def register_into(self, registry, **labels) -> None:
+        """Register every family histogram into a
+        :class:`~repro.obs.registry.MetricsRegistry` as
+        ``repro_store_op_latency_seconds{op="<family>"}`` — the same
+        live objects, so later :meth:`record` calls show up in the next
+        snapshot/export with no copying."""
+        for family, hist in self.histograms.items():
+            registry.register_histogram(
+                "repro_store_op_latency_seconds",
+                hist,
+                help="Per-operation-family store latency",
+                op=family,
+                **labels,
+            )
 
     def report(self) -> str:
         """Fixed-width summary of every family (µs units)."""

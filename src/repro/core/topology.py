@@ -92,6 +92,11 @@ class DynamicGraphStore(GraphStoreAPI):
     ) -> None:
         self.config = config or SamtreeConfig()
         self.stats = OpStats()
+        #: Cumulative columnar-ingest ledger: every
+        #: :meth:`apply_edge_batch` merges its per-call
+        #: :class:`IngestStats` in here, so registry views
+        #: (``repro_ingest_*``; DESIGN.md §11) see lifetime totals.
+        self.ingest_stats = IngestStats()
         self._directory = CuckooHashMap(initial_buckets=64)
         self._num_edges = 0
         # `_num_edges += d` is a non-atomic read-modify-write; PALM
@@ -246,9 +251,11 @@ class DynamicGraphStore(GraphStoreAPI):
             batch = EdgeBatch(batch, dst, weight, etype, op)
         stats = IngestStats(ops=len(batch))
         if len(batch) == 0:
+            self.ingest_stats.merge_from(stats)
             return stats
         for et, src, group in batch.sorted_by_tree().iter_tree_groups():
             self._apply_tree_group(et, src, group, stats)
+        self.ingest_stats.merge_from(stats)
         return stats
 
     @staticmethod

@@ -47,6 +47,7 @@ from repro.errors import (
     RetryExhaustedError,
     ShardUnavailableError,
 )
+from repro.obs.trace import NULL_SPAN
 
 __all__ = ["GraphClient", "UNAVAILABLE"]
 
@@ -93,6 +94,7 @@ class GraphClient(GraphStoreAPI):
         replica_groups: Optional[Sequence[Sequence[GraphServer]]] = None,
         retry: Optional[RetryPolicy] = None,
         degraded_reads: bool = False,
+        tracer=None,
     ) -> None:
         if len(servers) != partitioner.num_shards:
             raise PartitionError(
@@ -125,10 +127,17 @@ class GraphClient(GraphStoreAPI):
         self.network = network
         self.retry = retry
         self.degraded_reads = degraded_reads
+        self.tracer = tracer
 
     # ------------------------------------------------------------------
     # routing helpers
     # ------------------------------------------------------------------
+    def _tspan(self, name: str, **tags):
+        """A client-side span (no-op without a tracer)."""
+        if self.tracer is None:
+            return NULL_SPAN
+        return self.tracer.span(name, **tags)
+
     def _account(self, payload_bytes: int) -> float:
         """Charge one message; returns its simulated transfer seconds."""
         if self.network is not None:
@@ -140,12 +149,31 @@ class GraphClient(GraphStoreAPI):
 
         Every attempt is charged to the network model (retries cost
         messages), and the retry policy measures deadlines / accounts
-        backoff on the same simulated clock.
+        backoff on the same simulated clock.  With a tracer attached,
+        each attempt opens an ``rpc.attempt`` span (numbered from 1) —
+        a failed attempt closes its span with ``status="error"`` and the
+        exception type, so retries are visible in the trace tree.
         """
+        if self.tracer is None:
 
-        def attempt():
-            self._account(payload_bytes)
-            return fn(server)
+            def attempt():
+                self._account(payload_bytes)
+                return fn(server)
+
+        else:
+            counter = [0]
+
+            def attempt():
+                counter[0] += 1
+                with self.tracer.span(
+                    "rpc.attempt",
+                    attempt=counter[0],
+                    shard=server.shard_id,
+                    replica=server.replica_index,
+                    bytes=payload_bytes,
+                ):
+                    self._account(payload_bytes)
+                    return fn(server)
 
         if self.retry is None:
             return attempt()
@@ -162,17 +190,22 @@ class GraphClient(GraphStoreAPI):
         degraded reads are enabled; raises otherwise.
         """
         group = self.replica_groups[shard]
-        last: Optional[Exception] = None
-        for server in group:
-            try:
-                return self._call(server, payload_bytes, fn)
-            except _FAILOVER_ERRORS as exc:
-                last = exc
-        if self.degraded_reads:
-            return UNAVAILABLE
-        raise ShardUnavailableError(
-            f"all {len(group)} replica(s) of shard {shard} are unavailable"
-        ) from last
+        with self._tspan(
+            "rpc.read_shard", shard=shard, replicas=len(group)
+        ) as span:
+            last: Optional[Exception] = None
+            for server in group:
+                try:
+                    return self._call(server, payload_bytes, fn)
+                except _FAILOVER_ERRORS as exc:
+                    last = exc
+            if self.degraded_reads:
+                span.set_tag("degraded", True)
+                return UNAVAILABLE
+            raise ShardUnavailableError(
+                f"all {len(group)} replica(s) of shard {shard} are "
+                f"unavailable"
+            ) from last
 
     def _write_shard(self, shard: int, payload_bytes: int, fn):
         """Primary-backup write: apply to every live replica.
@@ -183,24 +216,28 @@ class GraphClient(GraphStoreAPI):
         the write.
         """
         group = self.replica_groups[shard]
-        result = None
-        applied = 0
-        last: Optional[Exception] = None
-        for server in group:
-            try:
-                r = self._call(server, payload_bytes, fn)
-            except _FAILOVER_ERRORS as exc:
-                last = exc
-                continue
-            applied += 1
-            if applied == 1:
-                result = r
-        if applied == 0:
-            raise ShardUnavailableError(
-                f"write rejected: all {len(group)} replica(s) of shard "
-                f"{shard} are unavailable"
-            ) from last
-        return result
+        with self._tspan(
+            "rpc.write_shard", shard=shard, replicas=len(group)
+        ) as span:
+            result = None
+            applied = 0
+            last: Optional[Exception] = None
+            for server in group:
+                try:
+                    r = self._call(server, payload_bytes, fn)
+                except _FAILOVER_ERRORS as exc:
+                    last = exc
+                    continue
+                applied += 1
+                if applied == 1:
+                    result = r
+            if applied == 0:
+                raise ShardUnavailableError(
+                    f"write rejected: all {len(group)} replica(s) of "
+                    f"shard {shard} are unavailable"
+                ) from last
+            span.set_tag("applied", applied)
+            return result
 
     def _live_store(self, shard: int):
         """First live replica's store (control-plane introspection —
@@ -263,17 +300,20 @@ class GraphClient(GraphStoreAPI):
         per_shard: Dict[int, List[Tuple[int, EdgeOp]]] = defaultdict(list)
         for i, op in enumerate(ops):
             per_shard[self.partitioner.shard_for(op.src)].append((i, op))
-        outcomes: List[bool] = [False] * len(ops)
-        for shard, indexed in per_shard.items():
-            shard_ops = [op for _, op in indexed]
-            results = self._write_shard(
-                shard,
-                _OP_BYTES * len(indexed),
-                lambda s, shard_ops=shard_ops: s.apply_ops(shard_ops),
-            )
-            for (i, _), result in zip(indexed, results):
-                outcomes[i] = result
-        return outcomes
+        with self._tspan(
+            "client.apply_batch", ops=len(ops), shards=len(per_shard)
+        ):
+            outcomes: List[bool] = [False] * len(ops)
+            for shard, indexed in per_shard.items():
+                shard_ops = [op for _, op in indexed]
+                results = self._write_shard(
+                    shard,
+                    _OP_BYTES * len(indexed),
+                    lambda s, shard_ops=shard_ops: s.apply_ops(shard_ops),
+                )
+                for (i, _), result in zip(indexed, results):
+                    outcomes[i] = result
+            return outcomes
 
     # ------------------------------------------------------------------
     # columnar bulk ingestion (one columnar message per shard per replica)
@@ -298,15 +338,21 @@ class GraphClient(GraphStoreAPI):
             stats.ops = 0
             return stats
         shards = self.partitioner.shards_for_array(batch.src)
-        for shard in np.unique(shards).tolist():
-            sub = batch.select(np.flatnonzero(shards == shard))
-            shard_stats = self._write_shard(
-                shard,
-                sub.payload_nbytes(),
-                lambda s, sub=sub: s.ingest_batch(sub),
-            )
-            stats.merge_from(shard_stats)
-        return stats
+        unique_shards = np.unique(shards).tolist()
+        with self._tspan(
+            "client.apply_edge_batch",
+            ops=len(batch),
+            shards=len(unique_shards),
+        ):
+            for shard in unique_shards:
+                sub = batch.select(np.flatnonzero(shards == shard))
+                shard_stats = self._write_shard(
+                    shard,
+                    sub.payload_nbytes(),
+                    lambda s, sub=sub: s.ingest_batch(sub),
+                )
+                stats.merge_from(shard_stats)
+            return stats
 
     def bulk_load(self, src, dst=None, weight=None, etype=None) -> IngestStats:
         """Insert-only columnar load across the cluster (graph build)."""
@@ -406,24 +452,30 @@ class GraphClient(GraphStoreAPI):
         per_shard: Dict[int, List[int]] = defaultdict(list)
         for i, src in enumerate(srcs):
             per_shard[self.partitioner.shard_for(src)].append(i)
-        out: List[Sequence[int]] = [[] for _ in srcs]
-        for shard, positions in per_shard.items():
-            shard_srcs = [srcs[i] for i in positions]
-            results = self._read_shard(
-                shard,
-                len(shard_srcs)
-                * (_SAMPLE_REQ_BYTES + k * _SAMPLE_RESP_BYTES),
-                lambda s, ss=shard_srcs: getattr(s, endpoint)(
-                    ss, k, rng, etype
-                ),
-            )
-            if results is UNAVAILABLE:
-                for i in positions:
-                    out[i] = UNAVAILABLE
-                continue
-            for i, res in zip(positions, results):
-                out[i] = res
-        return out
+        with self._tspan(
+            f"client.{endpoint}",
+            sources=len(srcs),
+            k=k,
+            shards=len(per_shard),
+        ):
+            out: List[Sequence[int]] = [[] for _ in srcs]
+            for shard, positions in per_shard.items():
+                shard_srcs = [srcs[i] for i in positions]
+                results = self._read_shard(
+                    shard,
+                    len(shard_srcs)
+                    * (_SAMPLE_REQ_BYTES + k * _SAMPLE_RESP_BYTES),
+                    lambda s, ss=shard_srcs: getattr(s, endpoint)(
+                        ss, k, rng, etype
+                    ),
+                )
+                if results is UNAVAILABLE:
+                    for i in positions:
+                        out[i] = UNAVAILABLE
+                    continue
+                for i, res in zip(positions, results):
+                    out[i] = res
+            return out
 
     def sample_neighbors_many(
         self,

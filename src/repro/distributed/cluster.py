@@ -36,6 +36,8 @@ from repro.distributed.retry import RetryPolicy
 from repro.distributed.rpc import NetworkModel
 from repro.distributed.server import GraphServer
 from repro.errors import ConfigurationError
+from repro.obs.instrument import register_cluster
+from repro.obs.registry import MetricsRegistry
 from repro.storage.wal import ShardWAL
 
 __all__ = ["LocalCluster", "ShardInfo"]
@@ -86,6 +88,16 @@ class LocalCluster:
     degraded_reads:
         Return per-source ``UNAVAILABLE`` markers instead of raising
         when every replica of a shard is down.
+    registry:
+        Optional :class:`~repro.obs.registry.MetricsRegistry`; a fresh
+        one is created when omitted.  Every layer's stats holder —
+        network, faults, retries, per-replica server/WAL/store — is
+        registered into it as live views under the ``repro_*`` naming
+        scheme (DESIGN.md §11), so ``cluster.registry.snapshot()`` /
+        Prometheus export always reflect current counters.
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer` handed to the client
+        and every server, producing client→RPC→server span trees.
     """
 
     def __init__(
@@ -102,6 +114,8 @@ class LocalCluster:
         fault_seed: int = 0,
         retry: Optional[RetryPolicy] = None,
         degraded_reads: bool = False,
+        registry: Optional[MetricsRegistry] = None,
+        tracer=None,
     ) -> None:
         if num_servers < 1:
             raise ConfigurationError(
@@ -149,11 +163,13 @@ class LocalCluster:
                         faults=self.fault_injector,
                         store_factory=store_factory,
                         replica_index=r,
+                        tracer=tracer,
                     )
                 )
             self.replica_groups.append(group)
         self.servers: List[GraphServer] = [g[0] for g in self.replica_groups]
         self.network = network
+        self.tracer = tracer
         self.client = GraphClient(
             self.servers,
             self.partitioner,
@@ -161,7 +177,10 @@ class LocalCluster:
             replica_groups=self.replica_groups,
             retry=retry,
             degraded_reads=degraded_reads,
+            tracer=tracer,
         )
+        self.registry = registry if registry is not None else MetricsRegistry()
+        register_cluster(self.registry, self)
 
     def __len__(self) -> int:
         return len(self.servers)
@@ -266,13 +285,38 @@ class LocalCluster:
         return sum(s.nbytes(model) for s in self.servers)
 
     def reset_stats(self) -> None:
-        """Clear server, network, fault, and retry counters."""
+        """Clear server, network, fault, and retry counters (plus any
+        registry-owned metrics and archived traces).
+
+        Registered *views* need no reset of their own — they read the
+        stats holders live, so clearing the holders clears the views.
+        """
         for group in self.replica_groups:
             for s in group:
                 s.stats.reset()
+                store = getattr(s, "store", None)
+                if store is not None:
+                    op_stats = getattr(store, "stats", None)
+                    if op_stats is not None:
+                        op_stats.reset()
+                    cache = getattr(store, "snapshot_cache", None)
+                    if cache is not None:
+                        cache.stats.reset()
+                    ingest = getattr(store, "ingest_stats", None)
+                    if ingest is not None:
+                        ingest.reset()
+                wal = getattr(s, "wal", None)
+                if wal is not None:
+                    # Zero the append ledger in place; truncate() would
+                    # also drop records a future recovery still needs.
+                    wal.records_appended = 0
+                    wal.bytes_appended = 0
         if self.network is not None:
             self.network.stats.reset()
         if self.fault_injector is not None:
             self.fault_injector.stats.reset()
         if self.retry is not None:
             self.retry.stats.reset()
+        self.registry.reset_owned()
+        if self.tracer is not None:
+            self.tracer.reset()

@@ -37,6 +37,7 @@ from repro.core.snapshot import RNGLike
 from repro.core.topology import DynamicGraphStore
 from repro.core.types import DEFAULT_ETYPE, EdgeOp, GraphStoreAPI
 from repro.errors import ConfigurationError, ShardUnavailableError
+from repro.obs.trace import NULL_SPAN
 from repro.storage.attributes import AttributeStore
 from repro.storage.checkpoint import (
     load_attributes,
@@ -58,8 +59,22 @@ class ServerStats:
     counted separately so dashboards can tell the two write shapes
     apart; all read endpoints (sampling, adjacency, degrees) count as
     ``sample_requests``.
+
+    ``requests`` counts every arrival at the :meth:`GraphServer._serve`
+    prologue, *including* requests refused while the replica is down
+    (those also bump ``refused_requests``).  The accounting identity
+
+    ``requests == refused_requests + sum(per-endpoint counters)``
+
+    holds for every endpoint that reaches its counter — and, with a
+    :class:`~repro.distributed.faults.FaultInjector` attached for the
+    server's whole lifetime, ``refused_requests`` equals the injector's
+    ``refused_while_down`` and ``requests - refused_requests`` equals
+    its ``requests`` ledger (``tests/test_faults_retry.py`` pins both).
     """
 
+    requests: int = 0
+    refused_requests: int = 0
     update_requests: int = 0
     ingest_requests: int = 0
     sample_requests: int = 0
@@ -69,6 +84,8 @@ class ServerStats:
     wal_records_replayed: int = 0
 
     def reset(self) -> None:
+        self.requests = 0
+        self.refused_requests = 0
         self.update_requests = 0
         self.ingest_requests = 0
         self.sample_requests = 0
@@ -102,6 +119,12 @@ class GraphServer:
     replica_index:
         Position of this server inside its shard's replica group
         (0 = primary).
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer`; when given, every
+        endpoint opens a ``server.<endpoint>`` span (a child of the
+        client's RPC span, since the cluster runs in-process) and the
+        batched sampling path nests a ``samtree.sample_many`` span
+        around the store descent.
     """
 
     def __init__(
@@ -113,6 +136,7 @@ class GraphServer:
         faults=None,
         store_factory: Optional[Callable[[], GraphStoreAPI]] = None,
         replica_index: int = 0,
+        tracer=None,
     ) -> None:
         self.shard_id = shard_id
         self.replica_index = replica_index
@@ -125,6 +149,7 @@ class GraphServer:
         self.stats = ServerStats()
         self.wal = wal
         self.faults = faults
+        self.tracer = tracer
         self._alive = True
         # Durable (survives crash) checkpoint images of this replica.
         self._checkpoint_topology: Optional[bytes] = None
@@ -144,8 +169,17 @@ class GraphServer:
         return self._alive
 
     def _serve(self, endpoint: str) -> None:
-        """Endpoint prologue: refuse while down, roll injected faults."""
+        """Endpoint prologue: refuse while down, roll injected faults.
+
+        Bumps ``stats.requests`` for every arrival and
+        ``stats.refused_requests`` for refusals, so the server's own
+        ledger reconciles with the fault injector's
+        (``refused_requests == FaultStats.refused_while_down`` when an
+        injector is attached for the server's whole lifetime).
+        """
+        self.stats.requests += 1
         if not self._alive:
+            self.stats.refused_requests += 1
             if self.faults is not None:
                 self.faults.note_refused()
             raise ShardUnavailableError(
@@ -154,6 +188,17 @@ class GraphServer:
             )
         if self.faults is not None:
             self.faults.on_request(self, endpoint)
+
+    def _span(self, endpoint: str, _prefix: str = "server.", **tags):
+        """A ``server.<endpoint>`` span (no-op without a tracer)."""
+        if self.tracer is None:
+            return NULL_SPAN
+        return self.tracer.span(
+            f"{_prefix}{endpoint}",
+            shard=self.shard_id,
+            replica=self.replica_index,
+            **tags,
+        )
 
     # ------------------------------------------------------------------
     # crash / checkpoint / recovery
@@ -253,12 +298,13 @@ class GraphServer:
     # ------------------------------------------------------------------
     def apply_ops(self, ops: Sequence[EdgeOp]) -> List[bool]:
         """Apply a batch of edge operations owned by this shard."""
-        self._serve("apply_ops")
-        self.stats.update_requests += 1
-        self.stats.ops_applied += len(ops)
-        if self.wal is not None:
-            self.wal.append_ops(ops)
-        return [self.store.apply(op) for op in ops]
+        with self._span("apply_ops", ops=len(ops)):
+            self._serve("apply_ops")
+            self.stats.update_requests += 1
+            self.stats.ops_applied += len(ops)
+            if self.wal is not None:
+                self.wal.append_ops(ops)
+            return [self.store.apply(op) for op in ops]
 
     def ingest_batch(self, batch):
         """Apply one columnar :class:`~repro.core.ingest.EdgeBatch`.
@@ -269,12 +315,13 @@ class GraphServer:
         samtree store, per-row replay elsewhere).  Returns the shard's
         :class:`~repro.core.ingest.IngestStats`.
         """
-        self._serve("ingest_batch")
-        self.stats.ingest_requests += 1
-        self.stats.ops_applied += len(batch)
-        if self.wal is not None:
-            self.wal.append_batch(batch)
-        return self.store.apply_edge_batch(batch)
+        with self._span("ingest_batch", ops=len(batch)):
+            self._serve("ingest_batch")
+            self.stats.ingest_requests += 1
+            self.stats.ops_applied += len(batch)
+            if self.wal is not None:
+                self.wal.append_batch(batch)
+            return self.store.apply_edge_batch(batch)
 
     # ------------------------------------------------------------------
     # sampling path
@@ -289,9 +336,13 @@ class GraphServer:
         """One batched request: the shard's store answers the whole
         source list through its vectorized read path (snapshot cache on
         the samtree store, loop fallback elsewhere)."""
-        self._serve("sample_neighbors_many")
-        self.stats.sample_requests += 1
-        return self.store.sample_neighbors_many(srcs, k, rng, etype)
+        with self._span("sample_neighbors_many", sources=len(srcs), k=k):
+            self._serve("sample_neighbors_many")
+            self.stats.sample_requests += 1
+            with self._span(
+                "samtree.sample_many", _prefix="", sources=len(srcs)
+            ):
+                return self.store.sample_neighbors_many(srcs, k, rng, etype)
 
     def sample_neighbors_uniform_many(
         self,
@@ -301,9 +352,17 @@ class GraphServer:
         etype: int = DEFAULT_ETYPE,
     ):
         """Uniform variant of :meth:`sample_neighbors_many`."""
-        self._serve("sample_neighbors_uniform_many")
-        self.stats.sample_requests += 1
-        return self.store.sample_neighbors_uniform_many(srcs, k, rng, etype)
+        with self._span(
+            "sample_neighbors_uniform_many", sources=len(srcs), k=k
+        ):
+            self._serve("sample_neighbors_uniform_many")
+            self.stats.sample_requests += 1
+            with self._span(
+                "samtree.sample_many", _prefix="", sources=len(srcs)
+            ):
+                return self.store.sample_neighbors_uniform_many(
+                    srcs, k, rng, etype
+                )
 
     def sample_neighbors_batch(
         self,

@@ -18,13 +18,14 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Sequence, Set, Tuple
+from typing import List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from repro.core.snapshot import RNGLike, coerce_scalar_rng
 from repro.core.types import DEFAULT_ETYPE, GraphStoreAPI
 from repro.errors import ConfigurationError
+from repro.obs.trace import NULL_SPAN
 
 __all__ = [
     "MiniBatchBlocks",
@@ -122,6 +123,7 @@ def sample_blocks(
     fanouts: Sequence[int],
     rng: RNGLike = None,
     etype: int = DEFAULT_ETYPE,
+    tracer=None,
 ) -> MiniBatchBlocks:
     """Multi-hop expansion for mini-batch training (K-hop sampling).
 
@@ -129,12 +131,28 @@ def sample_blocks(
     result feeds :meth:`repro.gnn.models.GraphSAGE.forward` directly.
     Every hop is one batched ``sample_neighbors_many`` call, so the
     whole frontier is drawn with vectorized RNG per hot tree.
+
+    ``tracer`` (optional :class:`~repro.obs.trace.Tracer`) wraps each
+    hop in a ``sampler.hop`` span tagged with the hop index, frontier
+    size, and fanout — under the distributed client the per-shard RPC
+    spans of the hop nest beneath it automatically.
     """
     levels = [np.asarray(list(seeds), dtype=np.int64)]
-    for fanout in fanouts:
-        matrix = sample_neighbor_matrix(
-            store, levels[-1].tolist(), fanout, rng, etype
+    for hop, fanout in enumerate(fanouts):
+        span = (
+            tracer.span(
+                "sampler.hop",
+                hop=hop,
+                frontier=int(levels[-1].shape[0]),
+                fanout=fanout,
+            )
+            if tracer is not None
+            else NULL_SPAN
         )
+        with span:
+            matrix = sample_neighbor_matrix(
+                store, levels[-1].tolist(), fanout, rng, etype
+            )
         levels.append(matrix.reshape(-1))
     return MiniBatchBlocks(levels=levels, fanouts=list(fanouts))
 

@@ -1,0 +1,67 @@
+"""Unified telemetry layer: metrics registry, request tracing, exporters.
+
+The paper's production claim — PlatoD2GL serving WeChat live-streaming
+GNN training under continuous churn — rests on the system being able to
+*see itself*: per-operation tail latencies, shard skew, retry storms,
+cache-hit decay.  This package is the cross-cutting layer every
+subsystem reports into:
+
+* :mod:`repro.obs.hist` — the log₂ :class:`LatencyHistogram` (moved
+  from ``repro.core.metrics``), with exact bucket bounds, merge, and
+  snapshot state;
+* :mod:`repro.obs.registry` — a :class:`MetricsRegistry` of named
+  counters, gauges, and histograms with labels, plus *views* over the
+  legacy ``*Stats`` holders (pull-based, so hot paths keep their plain
+  attribute increments and pay **zero** collection cost until a
+  snapshot or export materialises them);
+* :mod:`repro.obs.trace` — structured tracing: a :class:`Tracer`
+  producing span trees (trace/span/parent ids, wall or simulated
+  clocks, tags) with head-based sampling and a slow-trace ring buffer;
+* :mod:`repro.obs.export` — Prometheus text exposition, JSON dump, and
+  the exposition-format linter CI uses;
+* :mod:`repro.obs.report` — the human ``repro obs`` report (per-shard
+  skew table, top-k slow traces, cache/retry/WAL counters);
+* :mod:`repro.obs.instrument` — helpers registering every legacy
+  ``*Stats`` holder (``OpStats``, ``ServerStats``, ``NetworkStats``,
+  ``RetryStats``, ``FaultStats``, ``IngestStats``,
+  ``SnapshotCacheStats``) into one shared registry.
+"""
+
+from repro.obs.export import (
+    PrometheusFormatError,
+    lint_prometheus,
+    to_json,
+    to_prometheus_text,
+)
+from repro.obs.hist import LatencyHistogram
+from repro.obs.instrument import (
+    register_cluster,
+    register_stats,
+    register_store,
+)
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    RegistrySnapshot,
+)
+from repro.obs.report import render_report
+from repro.obs.trace import Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "LatencyHistogram",
+    "MetricsRegistry",
+    "PrometheusFormatError",
+    "RegistrySnapshot",
+    "Span",
+    "Tracer",
+    "lint_prometheus",
+    "register_cluster",
+    "register_stats",
+    "register_store",
+    "render_report",
+    "to_json",
+    "to_prometheus_text",
+]

@@ -1,0 +1,209 @@
+"""Register the legacy ``*Stats`` holders into a shared registry.
+
+The repo grew seven disconnected stat holders across three PRs —
+``OpStats`` (samtree structural updates), ``ServerStats`` (per-shard
+endpoints), ``NetworkStats`` (simulated traffic), ``RetryStats`` (client
+backoff), ``FaultStats`` (injected chaos), ``IngestStats`` (columnar
+writes), and ``SnapshotCacheStats`` (read-path cache).  Each keeps its
+public fields and plain-attribute increments — the hot paths are
+untouched — while this module registers **views** over those fields into
+one :class:`~repro.obs.registry.MetricsRegistry`, so exporters, the
+``repro obs`` report, and registry snapshot-diffs see every layer under
+one naming scheme (``repro_<subsystem>_<field>``; DESIGN.md §11).
+
+Everything here is duck-typed (``getattr`` probes, no imports from
+``repro.distributed``), so the dependency arrow stays
+``distributed → obs`` and never cycles back.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, List, Optional, Tuple
+
+from repro.obs.registry import MetricsRegistry
+
+__all__ = [
+    "numeric_fields",
+    "register_stats",
+    "register_store",
+    "register_server",
+    "register_cluster",
+]
+
+
+def numeric_fields(obj) -> List[str]:
+    """Public int/float fields of a stats holder (dataclass or slots)."""
+    if dataclasses.is_dataclass(obj):
+        names: Iterable[str] = (f.name for f in dataclasses.fields(obj))
+    else:
+        names = getattr(type(obj), "__slots__", ()) or vars(obj).keys()
+    return [
+        name
+        for name in names
+        if not name.startswith("_")
+        and isinstance(getattr(obj, name, None), (int, float))
+        and not isinstance(getattr(obj, name), bool)
+    ]
+
+
+def register_stats(
+    registry: MetricsRegistry,
+    prefix: str,
+    obj,
+    gauges: Tuple[str, ...] = (),
+    fields: Optional[Iterable[str]] = None,
+    **labels,
+) -> List[str]:
+    """Register one live view per numeric field of ``obj``.
+
+    Field ``f`` becomes metric ``{prefix}_{f}`` (counter unless listed
+    in ``gauges``); returns the registered metric names.
+    """
+    names: List[str] = []
+    for field in fields if fields is not None else numeric_fields(obj):
+        name = f"{prefix}_{field}"
+        kind = "gauge" if field in gauges else "counter"
+        registry.register_view(
+            name,
+            lambda o=obj, f=field: float(getattr(o, f)),
+            help=f"{prefix.replace('_', ' ')}: {field}",
+            kind=kind,
+            **labels,
+        )
+        names.append(name)
+    return names
+
+
+# ---------------------------------------------------------------------------
+# composite holders
+# ---------------------------------------------------------------------------
+def register_store(registry: MetricsRegistry, store, **labels) -> None:
+    """Register a topology store's holders: ``OpStats``
+    (``repro_samtree_*``), ``SnapshotCacheStats``
+    (``repro_snapshot_cache_*`` + hit-rate gauge), and the cumulative
+    ``IngestStats`` (``repro_ingest_*``) when the store keeps one."""
+    op_stats = getattr(store, "stats", None)
+    if op_stats is not None and numeric_fields(op_stats):
+        register_stats(registry, "repro_samtree", op_stats, **labels)
+        registry.register_view(
+            "repro_samtree_leaf_fraction",
+            lambda s=op_stats: float(s.leaf_fraction),
+            help="Fraction of structural updates touching only leaves",
+            kind="gauge",
+            **labels,
+        )
+    cache = getattr(store, "snapshot_cache", None)
+    cache_stats = getattr(cache, "stats", None)
+    if cache_stats is not None:
+        register_stats(registry, "repro_snapshot_cache", cache_stats, **labels)
+        registry.register_view(
+            "repro_snapshot_cache_hit_rate",
+            lambda s=cache_stats: float(s.hit_rate),
+            help="Snapshot cache hit rate",
+            kind="gauge",
+            **labels,
+        )
+    ingest = getattr(store, "ingest_stats", None)
+    if ingest is not None:
+        register_stats(registry, "repro_ingest", ingest, **labels)
+
+
+def _store_view(server, *path):
+    """Read ``server.store.<path>`` live, answering 0.0 while the
+    replica is crashed — :meth:`GraphServer.recover` swaps the store
+    object, so views must resolve through the server each time."""
+
+    def read() -> float:
+        obj = getattr(server, "store", None)
+        for attr in path:
+            if obj is None:
+                return 0.0
+            obj = getattr(obj, attr, None)
+        return float(obj) if obj is not None else 0.0
+
+    return read
+
+
+def register_server(registry: MetricsRegistry, server, **labels) -> None:
+    """Register one graph server: ``ServerStats`` (``repro_server_*``),
+    its WAL's append ledger, and its store's holders (resolved live
+    through ``server.store``, so crash/recover cycles stay visible)."""
+    register_stats(registry, "repro_server", server.stats, **labels)
+    wal = getattr(server, "wal", None)
+    if wal is not None:
+        register_stats(
+            registry,
+            "repro_wal",
+            wal,
+            fields=("records_appended", "bytes_appended"),
+            **labels,
+        )
+    store = server.store
+    if store is None:
+        return
+    op_stats = getattr(store, "stats", None)
+    if op_stats is not None and numeric_fields(op_stats):
+        for field in numeric_fields(op_stats):
+            registry.register_view(
+                f"repro_samtree_{field}",
+                _store_view(server, "stats", field),
+                help=f"samtree structural updates: {field}",
+                **labels,
+            )
+        registry.register_view(
+            "repro_samtree_leaf_fraction",
+            _store_view(server, "stats", "leaf_fraction"),
+            help="Fraction of structural updates touching only leaves",
+            kind="gauge",
+            **labels,
+        )
+    cache_stats = getattr(getattr(store, "snapshot_cache", None), "stats", None)
+    if cache_stats is not None:
+        for field in numeric_fields(cache_stats):
+            registry.register_view(
+                f"repro_snapshot_cache_{field}",
+                _store_view(server, "snapshot_cache", "stats", field),
+                help=f"snapshot cache: {field}",
+                **labels,
+            )
+        registry.register_view(
+            "repro_snapshot_cache_hit_rate",
+            _store_view(server, "snapshot_cache", "stats", "hit_rate"),
+            help="Snapshot cache hit rate",
+            kind="gauge",
+            **labels,
+        )
+    if getattr(store, "ingest_stats", None) is not None:
+        for field in numeric_fields(store.ingest_stats):
+            registry.register_view(
+                f"repro_ingest_{field}",
+                _store_view(server, "ingest_stats", field),
+                help=f"columnar ingest: {field}",
+                **labels,
+            )
+
+
+def register_cluster(registry: MetricsRegistry, cluster) -> None:
+    """Register every holder of a :class:`LocalCluster`: network, fault,
+    and retry stats once, plus per-replica server/store/WAL views
+    labeled ``{shard, replica}``."""
+    network = getattr(cluster, "network", None)
+    if network is not None:
+        register_stats(
+            registry,
+            "repro_network",
+            network.stats,
+            gauges=("last_send_seconds",),
+        )
+    injector = getattr(cluster, "fault_injector", None)
+    if injector is not None:
+        register_stats(registry, "repro_faults", injector.stats)
+    retry = getattr(cluster, "retry", None)
+    if retry is not None:
+        register_stats(registry, "repro_retry", retry.stats)
+    for shard, group in enumerate(cluster.replica_groups):
+        for r, server in enumerate(group):
+            register_server(
+                registry, server, shard=str(shard), replica=str(r)
+            )

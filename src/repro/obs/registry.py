@@ -1,0 +1,385 @@
+"""MetricsRegistry: named counters, gauges, and histograms with labels.
+
+One registry instance is the aggregation point of a deployment — a
+:class:`~repro.distributed.cluster.LocalCluster` owns one, a
+:class:`~repro.gnn.training.Trainer` can share it, and exporters
+(:mod:`repro.obs.export`) and the ``repro obs`` report read it.
+
+Two kinds of entries coexist:
+
+* **owned metrics** — :class:`Counter` / :class:`Gauge` /
+  :class:`~repro.obs.hist.LatencyHistogram` objects created through
+  :meth:`MetricsRegistry.counter` & friends; callers mutate them
+  directly (``c.inc()``, ``h.record(dt)``);
+* **views** — zero-copy read-throughs over the legacy ``*Stats``
+  holders (:meth:`MetricsRegistry.register_view` /
+  :func:`repro.obs.instrument.register_stats`).  The holders keep their
+  plain attribute increments — the hot paths pay nothing — and the
+  registry materialises their values only when a snapshot or export
+  asks.
+
+Metric identity is ``(name, sorted labels)``; names follow the
+``repro_<subsystem>_<metric>`` scheme (see DESIGN.md §11) and must match
+the Prometheus name grammar so the text exposition always lints.
+
+:meth:`MetricsRegistry.snapshot` captures every scalar and histogram;
+:meth:`RegistrySnapshot.diff` subtracts an earlier snapshot, so a
+workload's own counts can be isolated (before/after equality is pinned
+in ``tests/test_obs.py``).
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.obs.hist import LatencyHistogram
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "RegistrySnapshot",
+    "Sample",
+    "metric_key",
+]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Canonical label tuple: sorted ``(key, value)`` pairs, values stringified.
+LabelItems = Tuple[Tuple[str, str], ...]
+
+
+def _canon_labels(labels: Dict[str, object]) -> LabelItems:
+    items = tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+    for k, _ in items:
+        if not _LABEL_RE.match(k):
+            raise ConfigurationError(f"invalid label name {k!r}")
+    return items
+
+
+def metric_key(name: str, labels: LabelItems) -> str:
+    """Canonical ``name{k="v",...}`` identity string (snapshot keys)."""
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """Monotonic counter (owned metric)."""
+
+    __slots__ = ("value",)
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ConfigurationError(
+                f"counters only go up; use a gauge (got {amount})"
+            )
+        self.value += amount
+
+    def get(self) -> float:
+        return self.value
+
+
+class Gauge:
+    """Point-in-time value (owned metric)."""
+
+    __slots__ = ("value",)
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def get(self) -> float:
+        return self.value
+
+
+class Sample:
+    """One materialised scalar: ``(name, kind, help, labels, value)``."""
+
+    __slots__ = ("name", "kind", "help", "labels", "value")
+
+    def __init__(self, name, kind, help_text, labels, value) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.labels = labels
+        self.value = value
+
+    @property
+    def key(self) -> str:
+        return metric_key(self.name, self.labels)
+
+
+class _Entry:
+    """Registry slot: an owned metric or a view callback."""
+
+    __slots__ = ("name", "kind", "help", "labels", "obj", "read")
+
+    def __init__(self, name, kind, help_text, labels, obj, read) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.labels = labels
+        self.obj = obj  # owned metric / histogram, or None for views
+        self.read = read  # () -> float for scalars, unused for histograms
+
+
+class RegistrySnapshot:
+    """Materialised registry state at one instant.
+
+    ``scalars`` maps canonical keys to float values; ``histograms`` maps
+    keys to ``(buckets, count, sum, max)`` states.  :meth:`diff`
+    subtracts an earlier snapshot — counter semantics for scalars
+    (deltas clamp at observed values; gauges diff too, documented as
+    deltas) and bucket-wise subtraction for histograms.
+    """
+
+    __slots__ = ("scalars", "histograms", "kinds")
+
+    def __init__(
+        self,
+        scalars: Dict[str, float],
+        histograms: Dict[str, Tuple[Tuple[int, ...], int, float, float]],
+        kinds: Dict[str, str],
+    ) -> None:
+        self.scalars = scalars
+        self.histograms = histograms
+        self.kinds = kinds
+
+    def diff(self, before: "RegistrySnapshot") -> "RegistrySnapshot":
+        """This snapshot minus ``before`` (a workload's own counts)."""
+        scalars = {
+            key: value - before.scalars.get(key, 0.0)
+            for key, value in self.scalars.items()
+        }
+        hists = {}
+        for key, (buckets, count, total, mx) in self.histograms.items():
+            b0, c0, t0, _ = before.histograms.get(
+                key, ((0,) * len(buckets), 0, 0.0, 0.0)
+            )
+            hists[key] = (
+                tuple(b - a for b, a in zip(buckets, b0)),
+                count - c0,
+                total - t0,
+                mx,  # max is not subtractable; keep the later max
+            )
+        return RegistrySnapshot(scalars, hists, dict(self.kinds))
+
+    def get(self, key: str, default: float = 0.0) -> float:
+        return self.scalars.get(key, default)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready payload (benchmarks embed this in ``BENCH_*.json``)."""
+        return {
+            "scalars": dict(sorted(self.scalars.items())),
+            "histograms": {
+                key: {
+                    "count": count,
+                    "sum": total,
+                    "max": mx,
+                    "buckets": list(buckets),
+                }
+                for key, (buckets, count, total, mx) in sorted(
+                    self.histograms.items()
+                )
+            },
+        }
+
+
+class MetricsRegistry:
+    """Shared registry of named metrics with labels.
+
+    Thread-safe for registration (a lock guards the table); owned-metric
+    mutation relies on the GIL exactly as the legacy ``*Stats`` holders
+    always have.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[Tuple[str, LabelItems], _Entry] = {}
+        self._help: Dict[str, str] = {}
+        self._kind: Dict[str, str] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # registration internals
+    # ------------------------------------------------------------------
+    def _slot(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        labels: Dict[str, object],
+        factory: Callable[[], object],
+        read: Optional[Callable[[], float]],
+        allow_existing: bool = True,
+    ) -> _Entry:
+        if not _NAME_RE.match(name):
+            raise ConfigurationError(f"invalid metric name {name!r}")
+        items = _canon_labels(labels)
+        key = (name, items)
+        with self._lock:
+            existing_kind = self._kind.get(name)
+            if existing_kind is not None and existing_kind != kind:
+                raise ConfigurationError(
+                    f"metric {name!r} already registered as "
+                    f"{existing_kind}, not {kind}"
+                )
+            entry = self._entries.get(key)
+            if entry is not None:
+                if not allow_existing or entry.obj is None:
+                    raise ConfigurationError(
+                        f"metric {metric_key(name, items)} already registered"
+                    )
+                return entry
+            obj = factory()
+            entry = _Entry(name, kind, help_text, items, obj, read)
+            self._entries[key] = entry
+            self._kind[name] = kind
+            if help_text or name not in self._help:
+                self._help[name] = help_text
+            return entry
+
+    # ------------------------------------------------------------------
+    # owned metrics
+    # ------------------------------------------------------------------
+    def counter(self, name: str, help: str = "", **labels) -> Counter:
+        """Create-or-get the :class:`Counter` at ``(name, labels)``."""
+        return self._slot(name, "counter", help, labels, Counter, None).obj
+
+    def gauge(self, name: str, help: str = "", **labels) -> Gauge:
+        """Create-or-get the :class:`Gauge` at ``(name, labels)``."""
+        return self._slot(name, "gauge", help, labels, Gauge, None).obj
+
+    def histogram(self, name: str, help: str = "", **labels) -> LatencyHistogram:
+        """Create-or-get the labeled :class:`LatencyHistogram`."""
+        return self._slot(
+            name, "histogram", help, labels, LatencyHistogram, None
+        ).obj
+
+    # ------------------------------------------------------------------
+    # views (pull-based: read the source of truth at collection time)
+    # ------------------------------------------------------------------
+    def register_view(
+        self,
+        name: str,
+        read: Callable[[], float],
+        help: str = "",
+        kind: str = "counter",
+        **labels,
+    ) -> None:
+        """Register a live scalar view — ``read()`` is called at every
+        snapshot/export, so the owning object keeps its plain fields and
+        the hot path pays nothing."""
+        if kind not in ("counter", "gauge"):
+            raise ConfigurationError(f"view kind must be counter|gauge, not {kind}")
+        self._slot(
+            name, kind, help, labels, lambda: None, read, allow_existing=False
+        )
+
+    def register_histogram(
+        self, name: str, hist: LatencyHistogram, help: str = "", **labels
+    ) -> LatencyHistogram:
+        """Register an externally-owned histogram under ``(name, labels)``."""
+        self._slot(
+            name, "histogram", help, labels, lambda: hist, None,
+            allow_existing=False,
+        )
+        return hist
+
+    # ------------------------------------------------------------------
+    # collection
+    # ------------------------------------------------------------------
+    def _entries_sorted(self) -> List[_Entry]:
+        with self._lock:
+            entries = list(self._entries.values())
+        entries.sort(key=lambda e: (e.name, e.labels))
+        return entries
+
+    def collect(self) -> List[Sample]:
+        """Materialise every scalar (owned values + view reads)."""
+        out: List[Sample] = []
+        for e in self._entries_sorted():
+            if e.kind == "histogram":
+                continue
+            value = e.read() if e.read is not None else e.obj.get()
+            out.append(Sample(e.name, e.kind, e.help, e.labels, float(value)))
+        return out
+
+    def collect_histograms(
+        self,
+    ) -> List[Tuple[str, str, LabelItems, LatencyHistogram]]:
+        """``(name, help, labels, histogram)`` for every histogram."""
+        return [
+            (e.name, e.help, e.labels, e.obj)
+            for e in self._entries_sorted()
+            if e.kind == "histogram"
+        ]
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted({name for name, _ in self._entries})
+
+    def help_for(self, name: str) -> str:
+        return self._help.get(name, "")
+
+    def kind_for(self, name: str) -> str:
+        return self._kind.get(name, "untyped")
+
+    # ------------------------------------------------------------------
+    # snapshot / diff / merge
+    # ------------------------------------------------------------------
+    def snapshot(self) -> RegistrySnapshot:
+        """Materialise everything into an immutable snapshot."""
+        scalars: Dict[str, float] = {}
+        kinds: Dict[str, str] = {}
+        for s in self.collect():
+            scalars[s.key] = s.value
+            kinds[s.key] = s.kind
+        hists = {}
+        for name, _, labels, hist in self.collect_histograms():
+            key = metric_key(name, labels)
+            hists[key] = hist.state()
+            kinds[key] = "histogram"
+        return RegistrySnapshot(scalars, hists, kinds)
+
+    def merge_from(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's materialised state into this one's
+        **owned** metrics (worker aggregation: counters add, gauges take
+        the other's value, histograms bucket-merge)."""
+        for s in other.collect():
+            labels = dict(s.labels)
+            if s.kind == "counter":
+                self.counter(s.name, s.help, **labels).inc(s.value)
+            else:
+                self.gauge(s.name, s.help, **labels).set(s.value)
+        for name, help_text, labels, hist in other.collect_histograms():
+            mine = self.histogram(name, help_text, **dict(labels))
+            mine.merge(hist)
+
+    def reset_owned(self) -> None:
+        """Zero every owned metric (views reset through their holders)."""
+        for e in self._entries_sorted():
+            if e.read is not None:
+                continue
+            if e.kind == "histogram":
+                e.obj.reset()
+            else:
+                e.obj.value = 0.0

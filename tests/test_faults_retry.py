@@ -272,6 +272,83 @@ class TestServerDurability:
         assert stats.sample_requests == stats.attribute_requests == 0
         assert stats.ops_applied == stats.recoveries == 0
         assert stats.wal_records_replayed == 0
+        assert stats.requests == stats.refused_requests == 0
+
+
+# ---------------------------------------------------------------------------
+# Server-vs-injector request-ledger reconciliation
+# ---------------------------------------------------------------------------
+class TestRequestReconciliation:
+    """The server's own request ledger must agree with the fault
+    injector's across crash/recover cycles (the two were maintained in
+    different layers and could silently drift)."""
+
+    def _endpoint_total(self, stats) -> int:
+        return (
+            stats.update_requests
+            + stats.ingest_requests
+            + stats.sample_requests
+            + stats.attribute_requests
+        )
+
+    def test_single_server_ledgers_reconcile(self):
+        injector = FaultInjector(FaultPolicy(), seed=3)
+        server = GraphServer(
+            0,
+            config=SamtreeConfig(capacity=8),
+            wal=ShardWAL(),
+            faults=injector,
+        )
+        server.apply_ops([EdgeOp.insert(1, 2, 1.0)])
+        server.sample_neighbors_many([1], 2)
+        server.crash()
+        for _ in range(4):  # refused while down
+            with pytest.raises(ShardUnavailableError):
+                server.sample_neighbors_many([1], 2)
+        server.recover()
+        server.sample_neighbors_many([1], 2)
+        stats = server.stats
+        assert stats.requests == 7
+        assert stats.refused_requests == 4
+        # server ledger == injector ledger, on both sides of the split
+        assert stats.refused_requests == injector.stats.refused_while_down
+        assert (
+            stats.requests - stats.refused_requests
+            == injector.stats.requests
+        )
+        # and the per-endpoint counters cover every served request
+        assert (
+            stats.requests
+            == stats.refused_requests + self._endpoint_total(stats)
+        )
+
+    def test_cluster_ledgers_reconcile_under_outage(self):
+        cluster = LocalCluster(
+            num_servers=2,
+            config=SamtreeConfig(capacity=8),
+            replication_factor=2,
+            durable=True,
+            fault_policy=FaultPolicy(),  # injector attached, no chaos
+            degraded_reads=True,
+        )
+        rng = random.Random(0)
+        for i in range(40):
+            cluster.client.add_edge(rng.randrange(10), rng.randrange(10))
+        cluster.crash(0, 0)  # primary of shard 0 down -> failover reads
+        cluster.client.sample_neighbors_many(list(range(10)), 3, rng)
+        cluster.crash_shard(1)  # total outage -> degraded reads
+        cluster.client.sample_neighbors_many(list(range(10)), 3, rng)
+        cluster.recover_all()
+        cluster.client.sample_neighbors_many(list(range(10)), 3, rng)
+        servers = [s for g in cluster.replica_groups for s in g]
+        total_requests = sum(s.stats.requests for s in servers)
+        total_refused = sum(s.stats.refused_requests for s in servers)
+        total_endpoint = sum(self._endpoint_total(s.stats) for s in servers)
+        injector = cluster.fault_injector
+        assert total_refused > 0  # the outage really refused requests
+        assert total_refused == injector.stats.refused_while_down
+        assert total_requests - total_refused == injector.stats.requests
+        assert total_requests == total_refused + total_endpoint
 
 
 # ---------------------------------------------------------------------------
