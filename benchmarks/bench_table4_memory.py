@@ -5,6 +5,12 @@ modeled footprint, and extrapolates per-edge cost to the published graph
 size.  The paper's rows: PlatoD2GL smallest everywhere (up to 79.8 % less
 than the second best system), the w/o-CP ablation 18–48.6 % above
 PlatoD2GL, PlatoGL heavier, and AliGraph out of memory on WeChat.
+
+``--doctor`` additionally cross-checks each PlatoD2GL store's total
+against the samtree doctor's per-component breakdown (DESIGN.md §12):
+the two walks are independent code paths over the same structure, so
+they must agree within 1 % (they agree exactly today — the tolerance
+absorbs future component refactors).
 """
 
 from __future__ import annotations
@@ -113,5 +119,57 @@ def main() -> str:
     )
 
 
+def doctor_crosscheck(tolerance: float = 0.01) -> str:
+    """Reconcile ``store.nbytes()`` against the doctor's breakdown.
+
+    Builds the PlatoD2GL variants on every bench dataset, diagnoses each
+    store with :func:`repro.obs.doctor.diagnose_store`, and asserts
+    ``|Σ components - nbytes| <= tolerance * nbytes``.  Returns a small
+    reconciliation table; raises ``AssertionError`` on divergence.
+    """
+    from repro.obs.doctor import diagnose_store
+
+    headers = ["System", "Dataset", "nbytes()", "doctor Σ", "delta"]
+    rows = []
+    for ds_name, (loader, scale) in BENCH_DATASETS.items():
+        data = loader(scale=scale)
+        for system in ("PlatoD2GL", "PlatoD2GL (w/o CP)"):
+            store = make_store(system)
+            build_store(store, data, batch_size=4096)
+            expected = store.nbytes()
+            report = diagnose_store(store)
+            delta = abs(report.total_bytes - expected)
+            assert delta <= tolerance * expected, (
+                f"{system}/{ds_name}: doctor breakdown "
+                f"{report.total_bytes} diverges from nbytes() {expected} "
+                f"by {delta} bytes (> {tolerance:.0%})"
+            )
+            rows.append(
+                [
+                    system,
+                    ds_name,
+                    humanize_bytes(expected),
+                    humanize_bytes(report.total_bytes),
+                    str(delta),
+                ]
+            )
+    return format_table(
+        headers, rows, title="doctor cross-check: Σ components vs nbytes()"
+    )
+
+
 if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--doctor",
+        action="store_true",
+        help="also cross-check totals against the samtree doctor's "
+        "per-component breakdown (1%% tolerance)",
+    )
+    args = parser.parse_args()
     print(main())
+    if args.doctor:
+        print()
+        print(doctor_crosscheck())

@@ -12,7 +12,13 @@ Operational entry points a deployment actually uses:
                    cluster (optionally with injected faults) and emit
                    the observability readout: a human report, the
                    Prometheus text exposition, or a JSON dump
-                   (DESIGN.md §11).
+                   (DESIGN.md §11);
+* ``doctor``     — walk a store (saved snapshot or a seeded churned
+                   cluster) and emit the samtree structural-health
+                   report — depth/fill histograms, α-Split pivot
+                   quality, per-component memory breakdown — with an
+                   optional ``--fail-on fill=0.4,depth=4`` health gate
+                   (DESIGN.md §12; exit code 3 on violation).
 """
 
 from __future__ import annotations
@@ -179,6 +185,65 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_doctor(args: argparse.Namespace) -> int:
+    """Structural-health report over a snapshot or a seeded cluster."""
+    from repro.obs.doctor import (
+        check_thresholds,
+        diagnose,
+        parse_fail_on,
+    )
+    from repro.obs.export import lint_prometheus, to_prometheus_text
+
+    checks = parse_fail_on(args.fail_on) if args.fail_on else []
+
+    if args.snapshot:
+        target = load_store(args.snapshot)
+    else:
+        # Seeded churn workload on an in-process cluster: columnar bulk
+        # load, per-op trickle (inserts + deletes, so splits *and*
+        # merges fire), then batched sampling rounds to populate the
+        # snapshot caches.  Mean degree is edges/vertices — the default
+        # 300 vertices x 30k edges at capacity 64 yields multi-level
+        # trees whose non-root leaves sit near the bulk fill fraction.
+        from repro.core.samtree import SamtreeConfig
+        from repro.distributed.cluster import LocalCluster
+
+        rng = random.Random(args.seed)
+        cluster = LocalCluster(
+            num_servers=args.shards,
+            config=SamtreeConfig(capacity=args.capacity),
+            durable=True,
+        )
+        client = cluster.client
+        n = args.vertices
+        srcs = [rng.randrange(n) for _ in range(args.edges)]
+        dsts = [rng.randrange(n) for _ in range(args.edges)]
+        client.bulk_load(srcs, dsts, 1.0)
+        for _ in range(args.edges // 20):
+            client.add_edge(rng.randrange(n), rng.randrange(n), rng.random())
+            client.remove_edge(rng.randrange(n), rng.randrange(n))
+        for _ in range(5):
+            frontier = [rng.randrange(n) for _ in range(64)]
+            client.sample_neighbors_many(frontier, 10, rng)
+        target = cluster
+
+    report = diagnose(target)
+    if args.format == "json":
+        print(report.to_json())
+    elif args.format == "prometheus":
+        text = to_prometheus_text(report.to_registry())
+        lint_prometheus(text)  # never emit an invalid exposition
+        print(text, end="")
+    else:
+        print(report.render())
+    violations = check_thresholds(report, checks)
+    if violations:
+        for violation in violations:
+            print(f"FAIL {violation}", file=sys.stderr)
+        return 3
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -265,6 +330,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_obs.add_argument("--seed", type=int, default=0)
     p_obs.set_defaults(func=_cmd_obs)
+
+    p_doctor = sub.add_parser(
+        "doctor",
+        help="samtree structural-health report: depth/fill histograms, "
+        "alpha-split pivot quality, per-component memory breakdown",
+    )
+    p_doctor.add_argument(
+        "--snapshot",
+        default=None,
+        help="diagnose a saved store snapshot instead of running the "
+        "seeded in-process workload",
+    )
+    p_doctor.add_argument(
+        "--format",
+        default="human",
+        choices=["human", "json", "prometheus"],
+        help="human report, JSON dump, or Prometheus text exposition",
+    )
+    p_doctor.add_argument(
+        "--fail-on",
+        default=None,
+        metavar="SPEC",
+        help="comma-separated health bounds, e.g. "
+        "'fill=0.4,depth=4,imbalance=0.5,bytes=64MB'; exit 3 on "
+        "violation (fill is a lower bound, the rest upper bounds)",
+    )
+    p_doctor.add_argument("--shards", type=int, default=2)
+    p_doctor.add_argument("--vertices", type=int, default=300)
+    p_doctor.add_argument("--edges", type=int, default=30000)
+    p_doctor.add_argument(
+        "--capacity", type=int, default=64, help="samtree node capacity"
+    )
+    p_doctor.add_argument("--seed", type=int, default=0)
+    p_doctor.set_defaults(func=_cmd_doctor)
     return parser
 
 

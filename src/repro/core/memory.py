@@ -18,6 +18,36 @@ under one shared layout model:
 The constants live in a :class:`MemoryModel` so tests and benchmarks can
 vary them; defaults are chosen from the published layouts and calibrated
 against the ratios in Table IV (PlatoD2GL ≈ 20–34 % of PlatoGL).
+
+Model assumptions (what the accounting does and does not cover)
+---------------------------------------------------------------
+
+* **Structural bytes only.**  The model counts the bytes the paper's C
+  layout would allocate — node headers, ID lists, Fenwick/CSTable
+  arrays, directory slots — *not* CPython object overhead, allocator
+  slack, or interpreter state.  Two stores holding the same adjacency
+  under the same layout report the same bytes regardless of Python
+  version.
+* **Pre-allocated tables pay for empty slots.**  The cuckoo directory
+  charges every slot at its configured load factor
+  (:meth:`MemoryModel.directory_bytes`), matching a deployment where
+  the table is sized ahead of the keys.
+* **Snapshot-cache entries are part of the store's footprint.**  The
+  read path (:mod:`repro.core.snapshot`) keeps flat per-tree images —
+  one ``id_bytes`` ID plus one ``weight_bytes`` cumulative-weight entry
+  per cached edge.  ``DynamicGraphStore.nbytes`` includes them (they
+  are resident memory the read path pays for); each entry is accounted
+  under the **cache's own** model at build time, so passing a different
+  model to ``nbytes`` rescales the tree/directory components but not
+  already-cached entries.
+* **No feature bytes.**  Vertex attributes are accounted separately by
+  :class:`~repro.storage.attributes.AttributeStore`; topology/attribute
+  totals are only combined at the server level
+  (``GraphServer.nbytes``).
+* **Per-tree breakdowns are exact partitions.**  ``Samtree.nbytes`` and
+  ``DynamicGraphStore.nbytes`` are defined as the sum of their
+  ``nbytes_breakdown`` components, so the samtree doctor's
+  Σ(components) == ``nbytes()`` invariant holds by construction.
 """
 
 from __future__ import annotations

@@ -45,13 +45,26 @@ class StoreMetrics:
             family: LatencyHistogram() for family in self.FAMILIES
         }
 
-    def record(self, family: str, seconds: float) -> None:
+    def record(
+        self,
+        family: str,
+        seconds: float,
+        trace_id=None,
+        detail: str = "",
+    ) -> None:
         hist = self.histograms.get(family)
         if hist is None:
             raise ConfigurationError(
                 f"unknown op family {family!r}; known: {self.FAMILIES}"
             )
-        hist.record(seconds)
+        hist.record(seconds, trace_id=trace_id, detail=detail)
+
+    def enable_exemplars(self) -> "StoreMetrics":
+        """Opt every family histogram into slowest-op-per-bucket
+        exemplars (DESIGN.md §12); idempotent."""
+        for hist in self.histograms.values():
+            hist.enable_exemplars()
+        return self
 
     def reset(self) -> None:
         for hist in self.histograms.values():
@@ -90,16 +103,27 @@ class StoreMetrics:
 class InstrumentedStore(GraphStoreAPI):
     """Times every operation against a wrapped topology store."""
 
-    def __init__(self, store: GraphStoreAPI) -> None:
+    def __init__(self, store: GraphStoreAPI, tracer=None) -> None:
         self.store = store
         self.metrics = StoreMetrics()
+        #: Optional :class:`~repro.obs.trace.Tracer`; when set (and the
+        #: family histograms have exemplars enabled), every timed op is
+        #: tagged with the currently-active span's trace id so a fat
+        #: p99 bucket links back to the request tree that caused it.
+        self.tracer = tracer
 
     def _timed(self, family: str, fn, *args, **kwargs):
         start = time.perf_counter()
         try:
             return fn(*args, **kwargs)
         finally:
-            self.metrics.record(family, time.perf_counter() - start)
+            seconds = time.perf_counter() - start
+            trace_id = None
+            if self.tracer is not None:
+                span = self.tracer.current()
+                if span is not None:
+                    trace_id = span.trace_id
+            self.metrics.record(family, seconds, trace_id=trace_id)
 
     # -- updates ----------------------------------------------------------
     def add_edge(self, src, dst, weight=1.0, etype=DEFAULT_ETYPE):

@@ -35,7 +35,7 @@ from __future__ import annotations
 import random
 from bisect import bisect_right
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.core.alpha_split import split_arrays
 from repro.core.compression import make_id_list, make_id_list_from_array
@@ -64,13 +64,22 @@ BULK_FILL_FRACTION = 0.75
 
 @dataclass
 class OpStats:
-    """Structural-update counters (drive the paper's Table V)."""
+    """Structural-update counters (drive the paper's Table V).
+
+    ``split_imbalance_sum`` accumulates, per α-Split of a leaf, the
+    realised pivot imbalance ``|left - right| / (left + right)`` — 0.0
+    for a perfect median, approaching 1.0 for a degenerate pivot.  The
+    paper's Theorem 1 bounds the *expected* position error by α, and
+    :attr:`mean_split_imbalance` is the structural-health readout of
+    that bound (the samtree doctor reports it; DESIGN.md §12).
+    """
 
     leaf_ops: int = 0
     internal_ops: int = 0
     leaf_splits: int = 0
     internal_splits: int = 0
     merges: int = 0
+    split_imbalance_sum: float = 0.0
 
     @property
     def total_ops(self) -> int:
@@ -82,6 +91,13 @@ class OpStats:
         total = self.total_ops
         return self.leaf_ops / total if total else 0.0
 
+    @property
+    def mean_split_imbalance(self) -> float:
+        """Mean α-Split pivot imbalance over every leaf split so far."""
+        if not self.leaf_splits:
+            return 0.0
+        return self.split_imbalance_sum / self.leaf_splits
+
     def merge_from(self, other: "OpStats") -> None:
         """Accumulate another counter set (used by store-level stats)."""
         self.leaf_ops += other.leaf_ops
@@ -89,6 +105,7 @@ class OpStats:
         self.leaf_splits += other.leaf_splits
         self.internal_splits += other.internal_splits
         self.merges += other.merges
+        self.split_imbalance_sum += other.split_imbalance_sum
 
     def reset(self) -> None:
         self.leaf_ops = 0
@@ -96,6 +113,7 @@ class OpStats:
         self.leaf_splits = 0
         self.internal_splits = 0
         self.merges = 0
+        self.split_imbalance_sum = 0.0
 
 
 @dataclass(frozen=True)
@@ -418,11 +436,18 @@ class Samtree:
             ids, weights, self.config.alpha
         )
         self.stats.leaf_splits += 1
+        self._record_split_balance(len(left_ids), len(right_ids))
         return (
             self._new_leaf(left_ids, left_w),
             self._new_leaf(right_ids, right_w),
             sep,
         )
+
+    def _record_split_balance(self, left: int, right: int) -> None:
+        """Account one α-Split's realised pivot quality (doctor stats)."""
+        total = left + right
+        if total:
+            self.stats.split_imbalance_sum += abs(left - right) / total
 
     def _split_internal(
         self, node: _InternalNode
@@ -852,6 +877,21 @@ class Samtree:
         for leaf in self._leaves():
             yield from leaf.ids
 
+    def iter_nodes(self) -> Iterator[Tuple[_Node, int]]:
+        """Yield ``(node, depth)`` pairs in pre-order (root at depth 1).
+
+        The samtree doctor's structural walk (:mod:`repro.obs.doctor`):
+        callers duck-type through the node interface — ``node.is_leaf``,
+        ``node.size``, and (for internal nodes) ``node.children`` — so
+        the node classes themselves stay private to this module.
+        """
+        stack: List[Tuple[_Node, int]] = [(self._root, 1)]
+        while stack:
+            node, depth = stack.pop()
+            yield node, depth
+            if not node.is_leaf:
+                stack.extend((child, depth + 1) for child in node.children)
+
     def items(self) -> Iterator[Tuple[int, float]]:
         """Iterate over ``(neighbor_id, weight)`` pairs."""
         for leaf in self._leaves():
@@ -867,22 +907,50 @@ class Samtree:
     # memory accounting & invariants
     # ------------------------------------------------------------------
     def nbytes(self, model: MemoryModel = DEFAULT_MEMORY_MODEL) -> int:
-        """Modeled bytes of the whole tree under the shared layout model."""
-        total = 0
+        """Modeled bytes of the whole tree under the shared layout model.
+
+        Defined as the exact sum of :meth:`nbytes_breakdown` — the
+        samtree doctor's per-component invariant (DESIGN.md §12) is
+        therefore true by construction, not by coincidence.
+        """
+        return sum(self.nbytes_breakdown(model).values())
+
+    def nbytes_breakdown(
+        self, model: MemoryModel = DEFAULT_MEMORY_MODEL
+    ) -> Dict[str, int]:
+        """Per-component modeled bytes of this tree.
+
+        Components (the samtree doctor's schema):
+
+        * ``leaf_nodes``     — leaf headers + (possibly CP-IDs
+          compressed) neighbor-ID lists;
+        * ``fstables``       — the per-leaf Fenwick weight tables;
+        * ``internal_nodes`` — internal headers, separator keys, child
+          pointers, and per-child counts;
+        * ``cstables``       — the per-internal-node cumulative
+          subtree-weight tables.
+        """
+        leaf_nodes = fstables = internal_nodes = cstables = 0
         stack: List[_Node] = [self._root]
         while stack:
             node = stack.pop()
-            total += model.tree_node_header_bytes
             if node.is_leaf:
-                total += node.ids.nbytes()
-                total += node.fstable.nbytes(model.weight_bytes)
+                leaf_nodes += model.tree_node_header_bytes
+                leaf_nodes += node.ids.nbytes()
+                fstables += node.fstable.nbytes(model.weight_bytes)
             else:
-                total += model.id_bytes * len(node.keys)
-                total += model.pointer_bytes * len(node.children)
-                total += node.cstable.nbytes(model.weight_bytes)
-                total += 4 * len(node.counts)
+                internal_nodes += model.tree_node_header_bytes
+                internal_nodes += model.id_bytes * len(node.keys)
+                internal_nodes += model.pointer_bytes * len(node.children)
+                internal_nodes += 4 * len(node.counts)
+                cstables += node.cstable.nbytes(model.weight_bytes)
                 stack.extend(node.children)
-        return total
+        return {
+            "leaf_nodes": leaf_nodes,
+            "fstables": fstables,
+            "internal_nodes": internal_nodes,
+            "cstables": cstables,
+        }
 
     def check_invariants(self) -> None:
         """Verify every structural invariant; raise on violation.

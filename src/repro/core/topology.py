@@ -445,6 +445,16 @@ class DynamicGraphStore(GraphStoreAPI):
         """Distinct relation types present in the store."""
         return sorted({etype for etype, _ in self._directory.keys()})
 
+    def iter_trees(self) -> Iterator[Tuple[Tuple[int, int], Samtree]]:
+        """Iterate ``((etype, src), samtree)`` pairs (doctor's walk)."""
+        for key, tree in self._directory.items():
+            yield key, tree
+
+    @property
+    def directory(self) -> CuckooHashMap:
+        """The cuckoo directory (read-only structural introspection)."""
+        return self._directory
+
     # ------------------------------------------------------------------
     # sampling
     # ------------------------------------------------------------------
@@ -600,10 +610,44 @@ class DynamicGraphStore(GraphStoreAPI):
     # accounting & validation
     # ------------------------------------------------------------------
     def nbytes(self, model: MemoryModel = DEFAULT_MEMORY_MODEL) -> int:
-        total = self._directory.nbytes(model)
+        """Total modeled bytes of the store.
+
+        Exactly ``sum(self.nbytes_breakdown(model).values())`` — the
+        samtree doctor pins this equality as an invariant.  Includes the
+        per-tree snapshot-cache overhead (cached flat read images are
+        real resident memory the read path pays for; earlier versions
+        under-reported by omitting them).
+        """
+        return sum(self.nbytes_breakdown(model).values())
+
+    def nbytes_breakdown(
+        self, model: MemoryModel = DEFAULT_MEMORY_MODEL
+    ) -> Dict[str, int]:
+        """Per-component modeled bytes (the doctor's memory schema).
+
+        Components: the four samtree node components aggregated over
+        every tree (``leaf_nodes`` / ``fstables`` / ``internal_nodes`` /
+        ``cstables``), the cuckoo ``directory``, and the
+        ``snapshot_cache`` (cached entries accounted under the cache's
+        own :class:`MemoryModel` at build time — see
+        :mod:`repro.core.memory` for the assumptions).
+        """
+        parts = {
+            "leaf_nodes": 0,
+            "fstables": 0,
+            "internal_nodes": 0,
+            "cstables": 0,
+        }
         for _, tree in self._directory.items():
-            total += tree.nbytes(model)
-        return total
+            for component, nbytes in tree.nbytes_breakdown(model).items():
+                parts[component] += nbytes
+        parts["directory"] = self._directory.nbytes(model)
+        parts["snapshot_cache"] = (
+            self.snapshot_cache.nbytes
+            if self.snapshot_cache is not None
+            else 0
+        )
+        return parts
 
     def check_invariants(self) -> None:
         """Validate every samtree and the global edge counter."""

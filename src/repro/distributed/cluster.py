@@ -181,6 +181,10 @@ class LocalCluster:
         )
         self.registry = registry if registry is not None else MetricsRegistry()
         register_cluster(self.registry, self)
+        #: Trainers whose phase telemetry :meth:`reset_stats` should
+        #: clear alongside the server/network counters
+        #: (:meth:`register_trainer`).
+        self._trainers: List[object] = []
 
     def __len__(self) -> int:
         return len(self.servers)
@@ -284,9 +288,17 @@ class LocalCluster:
         figure stays comparable across replication factors)."""
         return sum(s.nbytes(model) for s in self.servers)
 
+    def register_trainer(self, trainer) -> None:
+        """Tie a :class:`~repro.gnn.training.Trainer`'s telemetry
+        lifecycle to this cluster: :meth:`reset_stats` will also zero
+        its phase histograms and batch/seed counters (idempotent)."""
+        if trainer not in self._trainers:
+            self._trainers.append(trainer)
+
     def reset_stats(self) -> None:
         """Clear server, network, fault, and retry counters (plus any
-        registry-owned metrics and archived traces).
+        registry-owned metrics, archived traces, and the phase
+        telemetry of every :meth:`register_trainer`-ed trainer).
 
         Registered *views* need no reset of their own — they read the
         stats holders live, so clearing the holders clears the views.
@@ -318,5 +330,9 @@ class LocalCluster:
         if self.retry is not None:
             self.retry.stats.reset()
         self.registry.reset_owned()
+        for trainer in self._trainers:
+            reset = getattr(trainer, "reset_phase_stats", None)
+            if reset is not None:
+                reset()
         if self.tracer is not None:
             self.tracer.reset()

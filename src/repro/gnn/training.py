@@ -170,6 +170,24 @@ class Trainer:
         if self._phase_hists is not None:
             self._phase_hists[phase].record(seconds)
 
+    def reset_phase_stats(self) -> None:
+        """Zero the per-phase latency histograms and batch/seed counters.
+
+        Called by :meth:`LocalCluster.reset_stats` for registered
+        trainers, so a before/after measurement window covers training
+        telemetry too.  Note the phase histograms are *owned* by the
+        registry the trainer was built with — when that registry is the
+        cluster's own, ``registry.reset_owned()`` already clears them;
+        this method makes the reset explicit and covers trainers wired
+        to a *different* registry.  No-op without a registry.
+        """
+        if self._phase_hists is None:
+            return
+        for hist in self._phase_hists.values():
+            hist.reset()
+        self._c_batches.value = 0.0
+        self._c_seeds.value = 0.0
+
     def phase_summary(self) -> Dict[str, Dict[str, float]]:
         """Per-phase latency summaries (empty without a registry)."""
         if self._phase_hists is None:

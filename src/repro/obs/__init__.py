@@ -24,21 +24,38 @@ subsystem reports into:
 * :mod:`repro.obs.instrument` — helpers registering every legacy
   ``*Stats`` holder (``OpStats``, ``ServerStats``, ``NetworkStats``,
   ``RetryStats``, ``FaultStats``, ``IngestStats``,
-  ``SnapshotCacheStats``) into one shared registry.
+  ``SnapshotCacheStats``) into one shared registry;
+* :mod:`repro.obs.doctor` — the samtree doctor: structural-health
+  diagnosis (depth/fill histograms, α-Split pivot quality, FSTable vs
+  CSTable counts) plus the per-component memory breakdown whose sum
+  equals the store's ``nbytes()`` (DESIGN.md §12);
+* :mod:`repro.obs.profile` — the opt-in layer-attributed deterministic
+  profiler and the :func:`~repro.obs.profile.observe` helper that
+  records histogram exemplars (trace id + args digest of the slowest
+  op per bucket).
 """
 
+from repro.obs.doctor import (
+    DoctorReport,
+    check_thresholds,
+    diagnose,
+    diagnose_cluster,
+    diagnose_store,
+    parse_fail_on,
+)
 from repro.obs.export import (
     PrometheusFormatError,
     lint_prometheus,
     to_json,
     to_prometheus_text,
 )
-from repro.obs.hist import LatencyHistogram
+from repro.obs.hist import Exemplar, LatencyHistogram
 from repro.obs.instrument import (
     register_cluster,
     register_stats,
     register_store,
 )
+from repro.obs.profile import LayerProfiler, args_digest, observe
 from repro.obs.registry import (
     Counter,
     Gauge,
@@ -50,14 +67,24 @@ from repro.obs.trace import Span, Tracer
 
 __all__ = [
     "Counter",
+    "DoctorReport",
+    "Exemplar",
     "Gauge",
     "LatencyHistogram",
+    "LayerProfiler",
     "MetricsRegistry",
     "PrometheusFormatError",
     "RegistrySnapshot",
     "Span",
     "Tracer",
+    "args_digest",
+    "check_thresholds",
+    "diagnose",
+    "diagnose_cluster",
+    "diagnose_store",
     "lint_prometheus",
+    "observe",
+    "parse_fail_on",
     "register_cluster",
     "register_stats",
     "register_store",

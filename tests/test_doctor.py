@@ -1,0 +1,469 @@
+"""Tests for the samtree doctor, exemplars, and the layer profiler.
+
+Pins the structural-health observability contract (DESIGN.md §12):
+
+* the doctor's per-component byte breakdown sums **exactly** to
+  ``nbytes()`` — under bulk build, under a 100k-edge churn workload,
+  and across cluster crash/recovery;
+* fill factors land in ``(0, 1]`` and depth equals the measured tree
+  height; node counts match an independent walk;
+* the ``--fail-on`` threshold gate (parsing + violations + CLI exit 3);
+* histogram exemplars survive the merge path and the Prometheus
+  exposition round-trip (``lint_prometheus`` passes with exemplar
+  families present);
+* the layer profiler attributes time to the samtree layers and its
+  per-layer exclusive times sum to the profiled total;
+* ``LocalCluster.reset_stats`` clears registered trainers' phase
+  telemetry (the PR's satellite).
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core.samtree import Samtree, SamtreeConfig
+from repro.core.topology import DynamicGraphStore
+from repro.distributed import LocalCluster
+from repro.errors import ConfigurationError
+from repro.gnn.models import GraphSAGE
+from repro.gnn.training import PHASES, Trainer
+from repro.obs import (
+    LatencyHistogram,
+    LayerProfiler,
+    MetricsRegistry,
+    Tracer,
+    args_digest,
+    check_thresholds,
+    diagnose,
+    diagnose_cluster,
+    diagnose_store,
+    lint_prometheus,
+    observe,
+    parse_fail_on,
+    to_prometheus_text,
+)
+from repro.obs.doctor import FILL_BINS
+from repro.storage.attributes import AttributeStore
+
+
+def _churned_store(
+    num_edges=100_000, num_sources=500, capacity=32, seed=7
+) -> DynamicGraphStore:
+    """Bulk build + trickle churn (inserts, updates, deletes)."""
+    rng = random.Random(seed)
+    store = DynamicGraphStore(SamtreeConfig(capacity=capacity))
+    srcs = [rng.randrange(num_sources) for _ in range(num_edges)]
+    dsts = [rng.randrange(num_edges) for _ in range(num_edges)]
+    store.bulk_load(srcs, dsts, 1.0)
+    for _ in range(num_edges // 20):
+        store.add_edge(
+            rng.randrange(num_sources), rng.randrange(num_edges), rng.random()
+        )
+        store.remove_edge(
+            rng.randrange(num_sources), rng.randrange(num_edges)
+        )
+    return store
+
+
+class TestDoctorInvariants:
+    def test_breakdown_sums_exactly_to_nbytes_after_bulk_build(self):
+        rng = random.Random(0)
+        store = DynamicGraphStore(SamtreeConfig(capacity=16))
+        store.bulk_load(
+            [rng.randrange(50) for _ in range(5000)],
+            [rng.randrange(5000) for _ in range(5000)],
+            1.0,
+        )
+        report = diagnose_store(store)
+        assert report.total_bytes == store.nbytes()
+        assert report.total_bytes == sum(report.components.values())
+
+    def test_breakdown_sums_exactly_on_100k_edge_churned_store(self):
+        store = _churned_store()
+        report = diagnose_store(store)
+        # The acceptance criterion: exact equality, not approximate.
+        assert report.total_bytes == store.nbytes()
+        assert report.num_edges == store.num_edges
+        assert report.num_trees == store.num_sources
+
+    def test_fill_in_unit_interval_and_depth_matches_height(self):
+        store = _churned_store(num_edges=20_000, num_sources=100)
+        report = diagnose_store(store)
+        assert 0.0 < report.fill.min <= report.fill.max <= 1.0
+        assert 0.0 < report.fill.mean <= 1.0
+        assert sum(report.fill.bins) == report.fill.count == report.num_leaves
+        # Depth histogram == independently measured heights.
+        heights = {}
+        for _, tree in store.iter_trees():
+            heights[tree.height] = heights.get(tree.height, 0) + 1
+        assert report.depth_hist == heights
+        assert report.max_depth == max(heights)
+
+    def test_node_counts_match_independent_walk(self):
+        store = _churned_store(num_edges=10_000, num_sources=50)
+        report = diagnose_store(store)
+        leaves = internals = 0
+        for _, tree in store.iter_trees():
+            for node, depth in tree.iter_nodes():
+                assert 1 <= depth <= tree.height
+                if node.is_leaf:
+                    leaves += 1
+                else:
+                    internals += 1
+        assert report.num_leaves == leaves
+        assert report.num_internal == internals
+        # FSTable count == leaves, CSTable count == internal nodes.
+        d = report.to_dict()
+        assert d["num_fstables"] == leaves
+        assert d["num_cstables"] == internals
+
+    def test_split_imbalance_accumulates_and_is_bounded(self):
+        tree = Samtree(SamtreeConfig(capacity=8))
+        rng = random.Random(3)
+        for v in range(500):
+            tree.insert(v * 7919 % 100_000, rng.random())
+        assert tree.stats.leaf_splits > 0
+        assert 0.0 <= tree.stats.mean_split_imbalance < 1.0
+
+    def test_counters_flow_through_report(self):
+        store = _churned_store(num_edges=20_000, num_sources=100)
+        report = diagnose_store(store)
+        assert report.counters["leaf_splits"] == store.stats.leaf_splits
+        assert report.counters["merges"] == store.stats.merges
+        assert (
+            report.counters["trees_created"]
+            == store.ingest_stats.trees_created
+        )
+        assert report.mean_split_imbalance == pytest.approx(
+            store.stats.mean_split_imbalance
+        )
+
+    def test_diagnose_dispatch_and_bad_target(self):
+        store = DynamicGraphStore()
+        store.add_edge(1, 2, 1.0)
+        assert diagnose(store).scope == "store"
+        with pytest.raises(ConfigurationError):
+            diagnose(object())
+
+
+class TestDoctorCluster:
+    def _cluster(self, durable=True, replicas=1):
+        rng = random.Random(11)
+        cluster = LocalCluster(
+            num_servers=3,
+            config=SamtreeConfig(capacity=16),
+            durable=durable,
+            replication_factor=replicas,
+        )
+        n = 200
+        cluster.client.bulk_load(
+            [rng.randrange(n) for _ in range(20_000)],
+            [rng.randrange(20_000) for _ in range(20_000)],
+            1.0,
+        )
+        for _ in range(500):
+            cluster.client.add_edge(
+                rng.randrange(n), rng.randrange(20_000), rng.random()
+            )
+            cluster.client.remove_edge(
+                rng.randrange(n), rng.randrange(20_000)
+            )
+        return cluster
+
+    def test_cluster_totals_reconcile_with_total_nbytes(self):
+        cluster = self._cluster()
+        report = diagnose_cluster(cluster)
+        assert report.scope == "cluster"
+        assert report.num_shards_seen == 3
+        wal_bytes = sum(
+            s.wal.nbytes for s in cluster.servers if s.wal is not None
+        )
+        assert (
+            report.total_bytes == cluster.total_nbytes() + wal_bytes
+        )
+        assert "wal" in report.components
+        assert "attributes" in report.components
+
+    def test_chaos_crash_recover_keeps_invariants(self):
+        cluster = self._cluster(replicas=2)
+        before = diagnose_cluster(cluster)
+        # Crash a primary: the doctor walks live primaries only.
+        cluster.crash(0)
+        degraded = diagnose_cluster(cluster)
+        assert degraded.num_shards_seen == 2
+        assert degraded.total_bytes == sum(degraded.components.values())
+        assert degraded.num_edges < before.num_edges
+        # Recover via peer state transfer and re-diagnose: totals and
+        # structure are whole again and the breakdown still partitions.
+        cluster.recover(0)
+        healed = diagnose_cluster(cluster)
+        assert healed.num_shards_seen == 3
+        assert healed.num_edges == before.num_edges
+        assert healed.num_trees == before.num_trees
+        assert healed.total_bytes == sum(healed.components.values())
+        wal_bytes = sum(
+            s.wal.nbytes for s in cluster.servers if s.wal is not None
+        )
+        assert healed.total_bytes == cluster.total_nbytes() + wal_bytes
+
+    def test_registry_export_lints(self):
+        cluster = self._cluster(durable=False)
+        report = diagnose_cluster(cluster)
+        text = to_prometheus_text(report.to_registry())
+        stats = lint_prometheus(text)
+        assert stats["samples"] > 20
+        assert "repro_doctor_total_bytes" in text
+        assert 'repro_doctor_component_bytes{component="leaf_nodes"}' in text
+
+
+class TestThresholdGate:
+    def _healthy_report(self):
+        return diagnose_store(_churned_store(num_edges=20_000,
+                                             num_sources=100))
+
+    def test_parse_fail_on(self):
+        checks = parse_fail_on("fill=0.4, depth=4,imbalance=0.5,bytes=64MB")
+        assert ("fill", 0.4) in checks
+        assert ("depth", 4.0) in checks
+        assert ("imbalance", 0.5) in checks
+        assert ("bytes", 64 * (1 << 20)) in checks
+        with pytest.raises(ConfigurationError):
+            parse_fail_on("fill")
+        with pytest.raises(ConfigurationError):
+            parse_fail_on("nope=3")
+        with pytest.raises(ConfigurationError):
+            parse_fail_on("fill=abc")
+
+    def test_healthy_store_passes_and_rotten_bounds_fail(self):
+        report = self._healthy_report()
+        assert check_thresholds(report, parse_fail_on("fill=0.4")) == []
+        assert check_thresholds(report, parse_fail_on("depth=10")) == []
+        violations = check_thresholds(
+            report, parse_fail_on("fill=0.99,depth=1,bytes=1kb")
+        )
+        assert len(violations) == 3
+        assert any("fill" in v for v in violations)
+        assert any("depth" in v for v in violations)
+        assert any("bytes" in v for v in violations)
+
+    def test_cli_doctor_json_and_gate(self, capsys):
+        args = ["doctor", "--vertices", "50", "--edges", "3000",
+                "--capacity", "16", "--shards", "2"]
+        assert cli_main(args + ["--format", "json"]) == 0
+        import json as _json
+
+        payload = _json.loads(capsys.readouterr().out)
+        assert payload["memory"]["total_bytes"] == sum(
+            payload["memory"]["components"].values()
+        )
+        # Prometheus output lints (the CLI lints internally; exit 0).
+        assert cli_main(args + ["--format", "prometheus"]) == 0
+        capsys.readouterr()
+        # Healthy gate passes; impossible gate exits 3.
+        assert cli_main(args + ["--fail-on", "fill=0.3,depth=5"]) == 0
+        capsys.readouterr()
+        assert cli_main(args + ["--fail-on", "bytes=1b"]) == 3
+
+
+class TestExemplars:
+    def test_record_keeps_slowest_per_bucket(self):
+        h = LatencyHistogram().enable_exemplars()
+        h.record(3e-6, trace_id=1, detail="a")
+        h.record(3.5e-6, trace_id=2, detail="b")  # same bucket, slower
+        h.record(100e-6, trace_id=3, detail="c")
+        ex = h.exemplars()
+        values = {e.detail: e.value for e in ex.values()}
+        assert "b" in values and "a" not in values
+        assert "c" in values
+        # Disabled histograms expose nothing and pay nothing.
+        cold = LatencyHistogram()
+        cold.record(1e-3)
+        assert cold.exemplars() == {}
+        assert not cold.exemplars_enabled
+
+    def test_merge_takes_slower_exemplar(self):
+        a = LatencyHistogram().enable_exemplars()
+        b = LatencyHistogram().enable_exemplars()
+        a.record(3e-6, detail="mine")
+        b.record(3.9e-6, detail="theirs")
+        a.merge(b)
+        details = {e.detail for e in a.exemplars().values()}
+        assert details == {"theirs"}
+
+    def test_observe_attaches_trace_and_digest(self):
+        h = LatencyHistogram().enable_exemplars()
+        tracer = Tracer(seed=0)
+        with tracer.span("op"):
+            observe(h, 0.02, tracer=tracer, srcs=list(range(128)), k=25)
+        (ex,) = h.exemplars().values()
+        assert ex.trace_id is not None
+        assert "srcs=len:128" in ex.detail and "k=25" in ex.detail
+        # args_digest is deterministic, sorted, and bounded.
+        assert args_digest(b=2, a=1) == "a=1 b=2"
+        assert len(args_digest(x="y" * 500)) <= 80
+
+    def test_exemplars_survive_prometheus_lint_round_trip(self):
+        reg = MetricsRegistry()
+        h = reg.histogram(
+            "repro_sample_batch_seconds", "batched sampling latency",
+            shard=0,
+        ).enable_exemplars()
+        tracer = Tracer(seed=0)
+        with tracer.span("sample"):
+            observe(h, 0.004, tracer=tracer, srcs=[1] * 64, k=10)
+        h.record(0.5, trace_id=None, detail="cold path")
+        text = to_prometheus_text(reg)
+        stats = lint_prometheus(text)  # must not raise
+        assert stats["families"] >= 2
+        assert "repro_sample_batch_seconds_exemplar{" in text
+        assert 'detail="cold path"' in text
+        # Exemplar value is the recorded latency in seconds.
+        line = next(
+            ln for ln in text.splitlines()
+            if ln.startswith("repro_sample_batch_seconds_exemplar")
+            and 'detail="cold path"' in ln
+        )
+        assert float(line.rsplit(" ", 1)[1]) == 0.5
+
+    def test_reset_clears_exemplars(self):
+        h = LatencyHistogram().enable_exemplars()
+        h.record(1e-3, detail="x")
+        h.reset()
+        assert h.exemplars() == {}
+        assert h.exemplars_enabled  # stays enabled across reset
+
+    def test_instrumented_store_tags_ops_with_active_span(self):
+        from repro.core.metrics import InstrumentedStore
+
+        tracer = Tracer(seed=0)
+        store = InstrumentedStore(
+            DynamicGraphStore(SamtreeConfig(capacity=8)), tracer=tracer
+        )
+        store.metrics.enable_exemplars()
+        with tracer.span("ingest") as span:
+            for i in range(20):
+                store.add_edge(0, i)
+            want = span.trace_id
+        exemplars = store.metrics.histograms["insert"].exemplars()
+        assert exemplars, "insert ops must leave exemplars behind"
+        assert {e.trace_id for e in exemplars.values()} == {want}
+        # Without an active span the op still records, untagged.
+        store.sample_neighbors(0, 4, rng=random.Random(0))
+        sample_ex = store.metrics.histograms["sample"].exemplars()
+        assert all(e.trace_id is None for e in sample_ex.values())
+
+
+class TestLayerProfiler:
+    def test_attributes_samtree_layers(self):
+        store = DynamicGraphStore(SamtreeConfig(capacity=16))
+        rng = random.Random(0)
+        prof = LayerProfiler()
+        with prof:
+            for _ in range(1500):
+                store.add_edge(
+                    rng.randrange(40), rng.randrange(4000), rng.random()
+                )
+            store.sample_neighbors_many(
+                [rng.randrange(40) for _ in range(64)], 10, rng
+            )
+        totals = prof.totals()
+        assert totals  # something was attributed
+        assert totals.get("descent", 0.0) > 0.0
+        assert totals.get("fts", 0.0) > 0.0
+        assert prof.total_seconds == pytest.approx(
+            sum(totals.values())
+        )
+        report = prof.report()
+        assert "descent" in report and "total" in report
+
+    def test_profiler_lifecycle_guards(self):
+        prof = LayerProfiler()
+        prof.start()
+        with pytest.raises(ConfigurationError):
+            prof.start()
+        with pytest.raises(ConfigurationError):
+            prof.reset()
+        prof.stop()
+        prof.stop()  # idempotent
+        prof.reset()
+        assert prof.totals() == {}
+
+    def test_duplicate_layer_claim_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LayerProfiler(layers={"a": ("x.py",), "b": ("x.py",)})
+
+
+class TestTrainerResetSatellite:
+    def _trainer(self, cluster_registry):
+        rng = random.Random(0)
+        nprng = np.random.default_rng(0)
+        store = DynamicGraphStore(SamtreeConfig(capacity=8))
+        feats = AttributeStore()
+        feats.register("feat", 4)
+        for v in range(40):
+            feats.put("feat", v, nprng.normal(0, 1, 4).astype(np.float32))
+        for _ in range(160):
+            store.add_edge(rng.randrange(40), rng.randrange(40), 1.0)
+        seeds = [v for v in range(40) if store.degree(v) > 0]
+        labels = [v % 2 for v in seeds]
+        model = GraphSAGE(4, 8, 2, num_layers=2,
+                          rng=np.random.default_rng(0))
+        trainer = Trainer(
+            store, feats, model, fanouts=[3, 3], registry=cluster_registry
+        )
+        return trainer, seeds, labels
+
+    def test_cluster_reset_clears_registered_trainer_phases(self):
+        cluster = LocalCluster(num_servers=2)
+        # The trainer deliberately uses its OWN registry so the only
+        # reset path is the cluster->trainer linkage under test.
+        own_registry = MetricsRegistry()
+        trainer, seeds, labels = self._trainer(own_registry)
+        cluster.register_trainer(trainer)
+        cluster.register_trainer(trainer)  # idempotent
+        trainer.train_epoch(seeds, labels, batch_size=16)
+        assert all(
+            s["count"] > 0 for s in trainer.phase_summary().values()
+        )
+        snap = own_registry.snapshot()
+        assert snap.get("repro_train_batches") > 0
+        cluster.reset_stats()
+        assert all(
+            s["count"] == 0 for s in trainer.phase_summary().values()
+        )
+        snap = own_registry.snapshot()
+        assert snap.get("repro_train_batches") == 0
+        assert snap.get("repro_train_seeds") == 0
+        assert set(trainer.phase_summary()) == set(PHASES)
+
+    def test_reset_phase_stats_is_safe_without_registry(self):
+        cluster = LocalCluster(num_servers=1)
+        trainer, _, _ = self._trainer(None)
+        cluster.register_trainer(trainer)
+        cluster.reset_stats()  # must not raise
+        assert trainer.phase_summary() == {}
+
+
+def test_fill_bins_cover_unit_interval():
+    """Every fill in (0, 1] lands in exactly one of the FILL_BINS bins."""
+    from repro.obs.doctor import _FillStats
+
+    fs = _FillStats()
+    for i in range(1, 1001):
+        fs.add(i / 1000.0)
+    assert sum(fs.bins) == 1000
+    assert fs.count == 1000
+    assert fs.min == pytest.approx(0.001)
+    assert fs.max == 1.0
+    # Exact boundaries: 0.1 is the top of bin 0, 0.1000...1 starts bin 1.
+    edge = _FillStats()
+    for f, expected_bin in ((0.1, 0), (0.1001, 1), (1.0, FILL_BINS - 1),
+                            (0.0, 0)):
+        edge.add(f)
+    assert edge.bins[0] == 2  # 0.1 and 0.0
+    assert edge.bins[1] == 1
+    assert edge.bins[FILL_BINS - 1] == 1
