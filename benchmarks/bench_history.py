@@ -85,9 +85,19 @@ def extract_metrics(bench: str, payload: Dict) -> Dict[str, float]:
                 "batched_ops_per_s"
             ],
         }
+    if bench == "frozen_sampling":
+        metrics = {
+            f"frozen_vertices_per_s_k{fanout}": stats[
+                "frozen_matrix_vertices_per_s"
+            ]
+            for fanout, stats in payload["fanouts"].items()
+        }
+        if not metrics:
+            raise KeyError("frozen_sampling payload has no fanouts")
+        return metrics
     raise KeyError(
         f"no metric extractor for bench {bench!r}; known: "
-        f"batched_sampling, bulk_ingest"
+        f"batched_sampling, bulk_ingest, frozen_sampling"
     )
 
 
@@ -254,7 +264,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         p.add_argument(
             "--bench",
             required=True,
-            choices=["batched_sampling", "bulk_ingest"],
+            choices=["batched_sampling", "bulk_ingest", "frozen_sampling"],
         )
         p.add_argument(
             "--input",

@@ -225,6 +225,29 @@ class CompressedIDList:
         """Decode the full ID list."""
         return list(self)
 
+    def to_array(self):
+        """Vectorized decode to an ``int64`` array (inverse of
+        :meth:`from_array`).
+
+        Rebuilds the big-endian byte matrix — prefix columns broadcast,
+        suffix columns reshaped straight out of the packed buffer — and
+        views it back as 64-bit integers, so flattening a leaf costs no
+        per-ID Python work (the snapshot/frozen-shard compilers' path).
+        """
+        import numpy as np
+
+        n = self._n
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        width = self._suffix_width()
+        be = np.zeros((n, ID_BYTES), dtype=np.uint8)
+        be[:, self._z :] = np.frombuffer(
+            bytes(self._suffixes), dtype=np.uint8
+        ).reshape(n, width)
+        if self._z:
+            be[:, : self._z] = np.frombuffer(self._prefix, dtype=np.uint8)
+        return be.reshape(-1).view(">u8").astype(np.int64)
+
     def index_of(self, vertex_id: int) -> Optional[int]:
         """Linear membership scan over the packed buffer.
 
@@ -380,6 +403,12 @@ class PlainIDList:
 
     def to_list(self) -> List[int]:
         return list(self._ids)
+
+    def to_array(self):
+        """Decode to an ``int64`` array (interface parity with CP-IDs)."""
+        import numpy as np
+
+        return np.asarray(self._ids, dtype=np.int64)
 
     def index_of(self, vertex_id: int) -> Optional[int]:
         try:

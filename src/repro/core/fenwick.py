@@ -238,6 +238,35 @@ class FSTable:
         # table's invariant is weights >= 0, so clamp the noise.
         return [w if w > 0.0 else 0.0 for w in weights]
 
+    def to_weight_array(self):
+        """Vectorized ``O(n)`` inverse of :meth:`from_array`.
+
+        Runs the same level-wise child propagation as the vectorized
+        build, in reverse order with subtraction, so the Python-level
+        work is ``O(log n)`` array ops.  Cancellation noise is clamped
+        to the ``weights >= 0`` invariant exactly as :meth:`to_weights`
+        does.  This is the leaf *reader* of the flattening paths
+        (:class:`repro.core.snapshot.TreeSnapshot` and the frozen-shard
+        compiler).
+        """
+        import numpy as np
+
+        tree = np.asarray(self._tree, dtype=np.float64).copy()
+        n = int(tree.size)
+        if n == 0:
+            return tree
+        step = 1
+        while step < n:
+            step <<= 1
+        step >>= 1
+        while step:
+            idx = np.arange(step - 1, n - step, step << 1)
+            if idx.size:
+                tree[idx + step] -= tree[idx]
+            step >>= 1
+        np.maximum(tree, 0.0, out=tree)
+        return tree
+
     # ------------------------------------------------------------------
     # dynamic updates (paper Algorithms 3 and 4)
     # ------------------------------------------------------------------

@@ -62,6 +62,7 @@ __all__ = [
     "RNGLike",
     "coerce_scalar_rng",
     "coerce_generator",
+    "flatten_tree",
     "resolve_rngs",
 ]
 
@@ -145,6 +146,28 @@ def resolve_rngs(
 # ---------------------------------------------------------------------------
 # flat snapshots
 # ---------------------------------------------------------------------------
+def flatten_tree(tree) -> Tuple[np.ndarray, np.ndarray]:
+    """Flatten one samtree's leaves into ``(ids, weights)`` arrays.
+
+    Preallocates both ``tree.degree``-sized arrays and fills them one
+    leaf slice at a time from the leaves' vectorized decoders
+    (``CompressedIDList.to_array`` / ``FSTable.to_weight_array``), so
+    the only Python-level loop is over *leaves*, not edges.  Shared by
+    :meth:`TreeSnapshot.from_tree` and the frozen-shard compiler
+    (:mod:`repro.core.frozen`).
+    """
+    n = tree.degree
+    ids = np.empty(n, dtype=np.int64)
+    weights = np.empty(n, dtype=np.float64)
+    pos = 0
+    for leaf in tree._leaves():
+        m = len(leaf.ids)
+        ids[pos : pos + m] = leaf.ids.to_array()
+        weights[pos : pos + m] = leaf.fstable.to_weight_array()
+        pos += m
+    return ids, weights
+
+
 class TreeSnapshot:
     """A contiguous read-only image of one samtree's adjacency.
 
@@ -180,14 +203,10 @@ class TreeSnapshot:
     @classmethod
     def from_tree(cls, tree, version: Optional[int] = None) -> "TreeSnapshot":
         """Flatten a samtree into parallel ``(ids, cumulative weights)``
-        arrays (one pass over the leaves)."""
-        ids: List[int] = []
-        weights: List[float] = []
-        for leaf in tree._leaves():
-            ids.extend(leaf.ids)
-            weights.extend(leaf.fstable.to_weights())
-        neighbor_ids = np.asarray(ids, dtype=np.int64)
-        cum = np.cumsum(np.asarray(weights, dtype=np.float64))
+        arrays (one preallocated numpy fill per leaf, no per-edge
+        Python list building)."""
+        neighbor_ids, weights = flatten_tree(tree)
+        cum = np.cumsum(weights)
         if version is None:
             version = tree.version
         return cls(neighbor_ids, cum, version, tree=tree)

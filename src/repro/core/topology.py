@@ -28,11 +28,13 @@ from repro.core.ingest import (
     IngestStats,
     fold_run,
 )
+from repro.core.frozen import FrozenShard, FrozenStats
 from repro.core.memory import DEFAULT_MEMORY_MODEL, MemoryModel
 from repro.core.samtree import OpStats, Samtree, SamtreeConfig
 from repro.core.snapshot import (
     RNGLike,
     SnapshotCache,
+    coerce_generator,
     coerce_scalar_rng,
     resolve_rngs,
 )
@@ -106,6 +108,20 @@ class DynamicGraphStore(GraphStoreAPI):
             SnapshotCache() if snapshot_cache is _DEFAULT_CACHE
             else snapshot_cache
         )
+        # -- frozen read path (repro.core.frozen) ----------------------
+        #: Compiled CSC images per etype; coherent via `_mutation_epoch`.
+        self._frozen: Dict[int, FrozenShard] = {}
+        #: Store-wide mutation epoch: bumped conservatively by *every*
+        #: mutation entry point (spurious bumps only cost a recompile;
+        #: a missed bump would be a stale read).
+        self._mutation_epoch = 0
+        self.frozen_stats = FrozenStats()
+        #: Epochs of drift a frozen shard may serve through (0 = any
+        #: post-compile mutation forces recompile-or-fallback).
+        self.frozen_staleness_budget = 0
+        #: When True, a stale shard recompiles on demand at read time
+        #: instead of falling back to the live samtree path.
+        self.frozen_auto_refreeze = False
 
     # ------------------------------------------------------------------
     # tree lookup
@@ -126,6 +142,17 @@ class DynamicGraphStore(GraphStoreAPI):
     # ------------------------------------------------------------------
     # dynamic updates
     # ------------------------------------------------------------------
+    def _bump_epoch(self) -> None:
+        """Advance the mutation epoch (frozen-shard coherence).
+
+        Called at every mutation entry point *before* the write, even
+        when the write turns out to be a no-op — over-invalidation is
+        safe, a stale frozen read is not.  Racy increments under PALM
+        threads may coalesce, but any mutation still moves the epoch
+        past every prior compile stamp, which is all coherence needs.
+        """
+        self._mutation_epoch += 1
+
     def add_edge(
         self,
         src: int,
@@ -133,6 +160,7 @@ class DynamicGraphStore(GraphStoreAPI):
         weight: float = 1.0,
         etype: int = DEFAULT_ETYPE,
     ) -> bool:
+        self._bump_epoch()
         tree = self._tree_or_create(src, etype)
         is_new = tree.insert(dst, weight)
         if is_new:
@@ -148,6 +176,7 @@ class DynamicGraphStore(GraphStoreAPI):
         etype: int = DEFAULT_ETYPE,
     ) -> bool:
         """Insert or *add onto* an edge weight (interaction counting)."""
+        self._bump_epoch()
         tree = self._tree_or_create(src, etype)
         is_new = tree.add_weight(dst, delta)
         if is_new:
@@ -161,6 +190,7 @@ class DynamicGraphStore(GraphStoreAPI):
         tree = self._tree(src, etype)
         if tree is None or dst not in tree:
             return False
+        self._bump_epoch()
         tree.insert(dst, weight)
         return True
 
@@ -168,6 +198,7 @@ class DynamicGraphStore(GraphStoreAPI):
         tree = self._tree(src, etype)
         if tree is None:
             return False
+        self._bump_epoch()
         removed = tree.delete(dst)
         if removed:
             with self._count_lock:
@@ -191,6 +222,7 @@ class DynamicGraphStore(GraphStoreAPI):
         rounds (:mod:`repro.core.tree_batch`), and this wrapper keeps the
         directory and the edge counter consistent.
         """
+        self._bump_epoch()
         has_insert = any(kind == "insert" for kind, _, _ in ops)
         if has_insert:
             tree = self._tree_or_create(src, etype)
@@ -253,6 +285,7 @@ class DynamicGraphStore(GraphStoreAPI):
         if len(batch) == 0:
             self.ingest_stats.merge_from(stats)
             return stats
+        self._bump_epoch()
         for et, src, group in batch.sorted_by_tree().iter_tree_groups():
             self._apply_tree_group(et, src, group, stats)
         self.ingest_stats.merge_from(stats)
@@ -456,6 +489,122 @@ class DynamicGraphStore(GraphStoreAPI):
         return self._directory
 
     # ------------------------------------------------------------------
+    # frozen read path
+    # ------------------------------------------------------------------
+    @property
+    def mutation_epoch(self) -> int:
+        """Store-wide mutation epoch (frozen-shard coherence stamp)."""
+        return self._mutation_epoch
+
+    @property
+    def frozen_shards(self) -> List[FrozenShard]:
+        """Currently compiled frozen shards (doctor/introspection)."""
+        return list(self._frozen.values())
+
+    def freeze(self, etype: Optional[int] = None) -> List[FrozenShard]:
+        """Compile the frozen CSC image(s) for the hot read path.
+
+        ``etype=None`` freezes every relation present (an empty store
+        freezes the default relation to an empty shard).  Returns the
+        compiled shards; subsequent batched reads of a frozen relation
+        dispatch to the vectorized kernels until the store mutates past
+        ``frozen_staleness_budget`` epochs.
+        """
+        if etype is not None:
+            targets = [etype]
+        else:
+            targets = self.etypes() or [DEFAULT_ETYPE]
+        shards: List[FrozenShard] = []
+        for et in targets:
+            shard = FrozenShard.compile(self, et, self._mutation_epoch)
+            self._frozen[et] = shard
+            self.frozen_stats.compiles += 1
+            self.frozen_stats.compiled_rows += shard.num_rows
+            self.frozen_stats.compiled_edges += shard.num_edges
+            shards.append(shard)
+        return shards
+
+    def thaw(self, etype: Optional[int] = None) -> int:
+        """Drop compiled shard(s); returns how many were dropped."""
+        if etype is not None:
+            dropped = 1 if self._frozen.pop(etype, None) is not None else 0
+        else:
+            dropped = len(self._frozen)
+            self._frozen.clear()
+        self.frozen_stats.thaws += dropped
+        return dropped
+
+    def _frozen_for(self, etype: int) -> Optional[FrozenShard]:
+        """The servable frozen shard of ``etype``, or ``None``.
+
+        Staleness is epoch drift since compile; a stale shard either
+        recompiles on demand (``frozen_auto_refreeze``) or is refused,
+        sending the read down the live samtree path — either way no
+        read is ever answered beyond the staleness budget.
+        """
+        shard = self._frozen.get(etype)
+        if shard is None:
+            return None
+        if (
+            self._mutation_epoch - shard.epoch
+            <= self.frozen_staleness_budget
+        ):
+            return shard
+        self.frozen_stats.stale_misses += 1
+        if self.frozen_auto_refreeze:
+            self.frozen_stats.refreezes += 1
+            return self.freeze(etype)[0]
+        return None
+
+    def _frozen_sample_many(
+        self,
+        shard: FrozenShard,
+        srcs: Sequence[int],
+        k: int,
+        rng: RNGLike,
+        uniform: bool,
+    ) -> List[Sequence[int]]:
+        gen = coerce_generator(rng)
+        rows = shard.sample_rows(srcs, k, gen, uniform=uniform)
+        stats = self.frozen_stats
+        stats.batches += 1
+        stats.vertices += len(rows)
+        served = sum(1 for row in rows if len(row))
+        stats.draws += served * k
+        stats.missing_vertices += len(rows) - served
+        return rows
+
+    def sample_fanouts(
+        self,
+        seeds: Sequence[int],
+        fanouts: Sequence[int],
+        rng: RNGLike = None,
+        etype: int = DEFAULT_ETYPE,
+    ) -> Optional[List[np.ndarray]]:
+        """Multi-hop frontier expansion on the frozen image.
+
+        Returns the per-hop levels (seeds first, self-loop padding for
+        sources without adjacency — the :mod:`repro.gnn.samplers`
+        convention), or ``None`` when the relation is not frozen or the
+        shard is stale — the caller falls back to the per-hop live
+        path.  This is the duck-typed fast path
+        :func:`repro.gnn.samplers.sample_blocks` probes for.
+        """
+        shard = self._frozen_for(etype)
+        if shard is None:
+            return None
+        gen = coerce_generator(rng)
+        levels = shard.sample_fanouts(seeds, fanouts, gen)
+        stats = self.frozen_stats
+        stats.batches += 1
+        stats.hops += len(fanouts)
+        stats.vertices += sum(
+            int(level.size) for level in levels[:-1]
+        )
+        stats.draws += sum(int(level.size) for level in levels[1:])
+        return levels
+
+    # ------------------------------------------------------------------
     # sampling
     # ------------------------------------------------------------------
     def sample_neighbors(
@@ -514,7 +663,17 @@ class DynamicGraphStore(GraphStoreAPI):
         *all* of that source's draws in the batch, and cold or
         just-mutated trees fall back to the exact ITS/FTS descent —
         distributionally identical by construction.
+
+        When the relation has a fresh frozen shard (:meth:`freeze`),
+        the whole frontier is answered by one columnar CSC kernel
+        instead — same distribution, no per-distinct-source loop.
         """
+        if self._frozen:
+            shard = self._frozen_for(etype)
+            if shard is not None:
+                return self._frozen_sample_many(
+                    shard, srcs, k, rng, uniform=False
+                )
         srcs = list(srcs)
         scalar_rng, gen = resolve_rngs(rng)
         cache = self.snapshot_cache
@@ -556,7 +715,14 @@ class DynamicGraphStore(GraphStoreAPI):
         rng: RNGLike = None,
         etype: int = DEFAULT_ETYPE,
     ) -> List[Sequence[int]]:
-        """Batched uniform sampling through the same snapshot read path."""
+        """Batched uniform sampling through the same snapshot read path
+        (or the frozen CSC kernel when the relation is frozen)."""
+        if self._frozen:
+            shard = self._frozen_for(etype)
+            if shard is not None:
+                return self._frozen_sample_many(
+                    shard, srcs, k, rng, uniform=True
+                )
         srcs = list(srcs)
         scalar_rng, gen = resolve_rngs(rng)
         cache = self.snapshot_cache
@@ -627,10 +793,11 @@ class DynamicGraphStore(GraphStoreAPI):
 
         Components: the four samtree node components aggregated over
         every tree (``leaf_nodes`` / ``fstables`` / ``internal_nodes`` /
-        ``cstables``), the cuckoo ``directory``, and the
+        ``cstables``), the cuckoo ``directory``, the
         ``snapshot_cache`` (cached entries accounted under the cache's
         own :class:`MemoryModel` at build time — see
-        :mod:`repro.core.memory` for the assumptions).
+        :mod:`repro.core.memory` for the assumptions), and the
+        ``frozen`` CSC images compiled by :meth:`freeze`.
         """
         parts = {
             "leaf_nodes": 0,
@@ -646,6 +813,9 @@ class DynamicGraphStore(GraphStoreAPI):
             self.snapshot_cache.nbytes
             if self.snapshot_cache is not None
             else 0
+        )
+        parts["frozen"] = sum(
+            shard.nbytes(model) for shard in self._frozen.values()
         )
         return parts
 

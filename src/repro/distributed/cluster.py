@@ -236,6 +236,23 @@ class LocalCluster:
                     total += server.checkpoint()
         return total
 
+    def freeze_all(self, etype: Optional[int] = None) -> int:
+        """Compile frozen CSC shards on every live replica.
+
+        One control-plane call after a bulk load (or between training
+        epochs) turns every shard's batched-read RPC into a single
+        frozen-kernel pass; returns the number of shards compiled.
+        Stale shards invalidate themselves through each store's
+        mutation epoch, so calling this again after a write burst is
+        always safe.
+        """
+        compiled = 0
+        for group in self.replica_groups:
+            for server in group:
+                if server.alive:
+                    compiled += server.freeze(etype)
+        return compiled
+
     def dead_replicas(self) -> List[Tuple[int, int]]:
         """``(shard, replica)`` pairs currently down."""
         return [
@@ -317,6 +334,9 @@ class LocalCluster:
                     ingest = getattr(store, "ingest_stats", None)
                     if ingest is not None:
                         ingest.reset()
+                    frozen = getattr(store, "frozen_stats", None)
+                    if frozen is not None:
+                        frozen.reset()
                 wal = getattr(s, "wal", None)
                 if wal is not None:
                     # Zero the append ledger in place; truncate() would

@@ -323,6 +323,24 @@ class GraphServer:
                 self.wal.append_batch(batch)
             return self.store.apply_edge_batch(batch)
 
+    def freeze(self, etype: Optional[int] = None) -> int:
+        """Compile the store's frozen CSC shard(s) for the hot read path.
+
+        Counted as an ``update_request`` (it replaces server-side state),
+        keeping the per-endpoint accounting identity intact.  Returns
+        the number of shards compiled; 0 when the store has no frozen
+        path (baseline stores).  Subsequent ``sample_neighbors_many``
+        RPCs are answered by one frozen kernel per shard until the
+        store mutates past its staleness budget.
+        """
+        with self._span("freeze"):
+            self._serve("freeze")
+            self.stats.update_requests += 1
+            compile_fn = getattr(self.store, "freeze", None)
+            if compile_fn is None:
+                return 0
+            return len(compile_fn(etype))
+
     # ------------------------------------------------------------------
     # sampling path
     # ------------------------------------------------------------------

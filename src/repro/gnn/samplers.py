@@ -136,7 +136,20 @@ def sample_blocks(
     hop in a ``sampler.hop`` span tagged with the hop index, frontier
     size, and fanout — under the distributed client the per-shard RPC
     spans of the hop nest beneath it automatically.
+
+    Stores exposing the frozen fast path (``sample_fanouts``, see
+    :meth:`repro.core.topology.DynamicGraphStore.freeze`) answer the
+    whole expansion in one call; a ``None`` result — relation not
+    frozen, shard stale or degraded — falls back to the per-hop live
+    path automatically.  Tracing keeps the per-hop loop so the
+    ``sampler.hop`` span tree stays intact.
     """
+    if tracer is None:
+        frozen_path = getattr(store, "sample_fanouts", None)
+        if frozen_path is not None:
+            levels = frozen_path(seeds, fanouts, rng, etype)
+            if levels is not None:
+                return MiniBatchBlocks(levels=levels, fanouts=list(fanouts))
     levels = [np.asarray(list(seeds), dtype=np.int64)]
     for hop, fanout in enumerate(fanouts):
         span = (

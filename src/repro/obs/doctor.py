@@ -135,6 +135,15 @@ class DoctorReport:
         self.directory_load_factor = 0.0
         self.cache_entries = 0
         self.cache_hit_rate = 0.0
+        #: Frozen-shard occupancy (the CSC read images of
+        #: :mod:`repro.core.frozen`): how many shards are compiled, how
+        #: much of the graph they cover, and the worst epoch drift —
+        #: drift past a store's staleness budget means the hot path is
+        #: silently falling back to live samtree reads.
+        self.frozen_shards = 0
+        self.frozen_rows = 0
+        self.frozen_edges = 0
+        self.frozen_epoch_drift = 0
         self.components: Dict[str, int] = {}
         self.num_shards_seen = 0  #: live primaries walked (cluster scope)
 
@@ -258,6 +267,17 @@ class DoctorReport:
                 "entries": self.cache_entries,
                 "hit_rate": self.cache_hit_rate,
             },
+            "frozen": {
+                "shards": self.frozen_shards,
+                "rows": self.frozen_rows,
+                "edges": self.frozen_edges,
+                "coverage": (
+                    self.frozen_edges / self.num_edges
+                    if self.num_edges
+                    else 0.0
+                ),
+                "max_epoch_drift": self.frozen_epoch_drift,
+            },
             "memory": {
                 "components": dict(sorted(self.components.items())),
                 "total_bytes": self.total_bytes,
@@ -335,6 +355,18 @@ class DoctorReport:
             f"  snapshot cache: entries={self.cache_entries} "
             f"hit_rate={self.cache_hit_rate:.2f}"
         )
+        if self.frozen_shards:
+            coverage = (
+                self.frozen_edges / self.num_edges if self.num_edges else 0.0
+            )
+            lines.append(
+                f"  frozen shards: {self.frozen_shards} "
+                f"({self.frozen_rows} rows, {self.frozen_edges} edges, "
+                f"{coverage:.0%} of stored edges) "
+                f"max_epoch_drift={self.frozen_epoch_drift}"
+            )
+        else:
+            lines.append("  frozen shards: (none compiled)")
         lines.append("  memory breakdown:")
         total = self.total_bytes or 1
         for name, nbytes in sorted(
@@ -423,6 +455,19 @@ class DoctorReport:
         g(
             "repro_doctor_cache_hit_rate", "Snapshot-cache hit rate"
         ).set(self.cache_hit_rate)
+        g(
+            "repro_doctor_frozen_shards", "Compiled frozen CSC shards"
+        ).set(self.frozen_shards)
+        g(
+            "repro_doctor_frozen_rows", "Rows across frozen shards"
+        ).set(self.frozen_rows)
+        g(
+            "repro_doctor_frozen_edges", "Edges across frozen shards"
+        ).set(self.frozen_edges)
+        g(
+            "repro_doctor_frozen_epoch_drift",
+            "Worst mutation-epoch drift of any frozen shard",
+        ).set(self.frozen_epoch_drift)
         for name, nbytes in sorted(self.components.items()):
             g(
                 "repro_doctor_component_bytes",
@@ -460,6 +505,16 @@ def _observe_store(report: DoctorReport, store, model: MemoryModel) -> None:
             report.cache_hit_rate = rate
         else:
             report.cache_hit_rate = min(report.cache_hit_rate, rate)
+    frozen = getattr(store, "frozen_shards", None)
+    if frozen:
+        epoch = getattr(store, "mutation_epoch", 0)
+        for shard in frozen:
+            report.frozen_shards += 1
+            report.frozen_rows += shard.num_rows
+            report.frozen_edges += shard.num_edges
+            report.frozen_epoch_drift = max(
+                report.frozen_epoch_drift, epoch - shard.epoch
+            )
     report.add_components(store.nbytes_breakdown(model))
 
 

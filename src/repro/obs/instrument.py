@@ -82,7 +82,8 @@ def register_store(registry: MetricsRegistry, store, **labels) -> None:
     """Register a topology store's holders: ``OpStats``
     (``repro_samtree_*``), ``SnapshotCacheStats``
     (``repro_snapshot_cache_*`` + hit-rate gauge), and the cumulative
-    ``IngestStats`` (``repro_ingest_*``) when the store keeps one."""
+    ``IngestStats`` (``repro_ingest_*``) when the store keeps one, and
+    the frozen read path's ``FrozenStats`` (``repro_frozen_*``)."""
     op_stats = getattr(store, "stats", None)
     if op_stats is not None and numeric_fields(op_stats):
         register_stats(registry, "repro_samtree", op_stats, **labels)
@@ -107,6 +108,9 @@ def register_store(registry: MetricsRegistry, store, **labels) -> None:
     ingest = getattr(store, "ingest_stats", None)
     if ingest is not None:
         register_stats(registry, "repro_ingest", ingest, **labels)
+    frozen = getattr(store, "frozen_stats", None)
+    if frozen is not None:
+        register_stats(registry, "repro_frozen", frozen, **labels)
 
 
 def _store_view(server, *path):
@@ -180,6 +184,14 @@ def register_server(registry: MetricsRegistry, server, **labels) -> None:
                 f"repro_ingest_{field}",
                 _store_view(server, "ingest_stats", field),
                 help=f"columnar ingest: {field}",
+                **labels,
+            )
+    if getattr(store, "frozen_stats", None) is not None:
+        for field in numeric_fields(store.frozen_stats):
+            registry.register_view(
+                f"repro_frozen_{field}",
+                _store_view(server, "frozen_stats", field),
+                help=f"frozen read path: {field}",
                 **labels,
             )
 
