@@ -95,9 +95,22 @@ def extract_metrics(bench: str, payload: Dict) -> Dict[str, float]:
         if not metrics:
             raise KeyError("frozen_sampling payload has no fanouts")
         return metrics
+    if bench == "zipf_serving":
+        metrics = {}
+        for skew, entry in payload["skews"].items():
+            tag = skew.replace(".", "_")
+            metrics[f"hot_modeled_sources_per_s_s{tag}"] = entry["hot"][
+                "modeled_sources_per_s"
+            ]
+            metrics[f"hot_wall_sources_per_s_s{tag}"] = entry["hot"][
+                "wall_sources_per_s"
+            ]
+        if not metrics:
+            raise KeyError("zipf_serving payload has no skews")
+        return metrics
     raise KeyError(
         f"no metric extractor for bench {bench!r}; known: "
-        f"batched_sampling, bulk_ingest, frozen_sampling"
+        f"batched_sampling, bulk_ingest, frozen_sampling, zipf_serving"
     )
 
 
@@ -264,7 +277,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         p.add_argument(
             "--bench",
             required=True,
-            choices=["batched_sampling", "bulk_ingest", "frozen_sampling"],
+            choices=[
+                "batched_sampling",
+                "bulk_ingest",
+                "frozen_sampling",
+                "zipf_serving",
+            ],
         )
         p.add_argument(
             "--input",

@@ -139,6 +139,10 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     from repro.obs.report import render_report
     from repro.obs.trace import Tracer
 
+    import numpy as np
+
+    from repro.datasets.stream import RequestStream
+
     rng = random.Random(args.seed)
     network = NetworkModel()
     tracer = Tracer(clock=network.now, seed=args.seed)
@@ -154,6 +158,7 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         fault_seed=args.seed,
         retry=RetryPolicy(max_attempts=6) if fault_policy else None,
         tracer=tracer,
+        hot_set_capacity=256 if args.skew > 0 else 0,
     )
     client = cluster.client
     # Churn: columnar bulk load + per-op trickle (both write shapes).
@@ -164,10 +169,30 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     for _ in range(args.edges // 10):
         client.add_edge(rng.randrange(n), rng.randrange(n), rng.random())
         client.remove_edge(rng.randrange(n), rng.randrange(n))
-    # Batched sampling rounds over random frontiers.
-    for _ in range(args.rounds):
-        frontier = [rng.randrange(n) for _ in range(args.batch)]
-        client.sample_neighbors_many(frontier, args.k, rng)
+    # Batched sampling rounds: uniform frontiers by default, a seeded
+    # power-law trace with ``--skew`` (which also enables the hot-set
+    # tracker, so the ``repro_hotset_*`` series carry real counts).
+    sample_rng = np.random.default_rng(args.seed)
+    requests = (
+        RequestStream(n, exponent=args.skew, seed=args.seed)
+        if args.skew > 0
+        else None
+    )
+    for round_idx in range(args.rounds):
+        if requests is not None:
+            frontier = requests.batch(args.batch)
+        else:
+            frontier = [rng.randrange(n) for _ in range(args.batch)]
+        client.sample_neighbors_many(frontier, args.k, sample_rng)
+        if (
+            args.hot_copies > 0
+            and requests is not None
+            and round_idx == args.rounds // 2
+        ):
+            # Mid-run, replicate the observed hot set like a production
+            # control loop would, so the tail of the run exercises
+            # replica spreading.
+            cluster.replicate_hot(top_n=8, copies=args.hot_copies)
     if args.format == "prometheus":
         text = to_prometheus_text(cluster.registry)
         lint_prometheus(text)  # never emit an invalid exposition
@@ -318,6 +343,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_obs.add_argument("--batch", type=int, default=64)
     p_obs.add_argument("--k", type=int, default=10, help="sample fanout")
+    p_obs.add_argument(
+        "--skew",
+        type=float,
+        default=0.0,
+        help="Zipf exponent for the sampling trace (0 = uniform; "
+        "> 0 also enables the hot-set tracker)",
+    )
+    p_obs.add_argument(
+        "--hot-copies",
+        type=int,
+        default=0,
+        help="with --skew, replicate the observed hot set to this many "
+        "extra shards mid-run",
+    )
     p_obs.add_argument(
         "--fault-rate",
         type=float,

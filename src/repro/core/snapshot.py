@@ -56,6 +56,7 @@ from repro.core.memory import DEFAULT_MEMORY_MODEL, MemoryModel
 from repro.errors import ConfigurationError, EmptyStructureError
 
 __all__ = [
+    "AdmissionFilter",
     "TreeSnapshot",
     "SnapshotCache",
     "SnapshotCacheStats",
@@ -78,6 +79,13 @@ DEFAULT_MIN_DEGREE = 2
 
 #: Bound on the write-hot probation side table.
 _PROBATION_CAP = 1 << 16
+
+#: Admission filter: halve all frequency counts every this many
+#: recorded accesses (TinyLFU's "reset" — keeps the estimate recent).
+_ADMISSION_SAMPLE_PERIOD = 1 << 17
+
+#: Bound on the admission frequency table (ages early if exceeded).
+_ADMISSION_TABLE_CAP = 1 << 16
 
 
 # ---------------------------------------------------------------------------
@@ -311,7 +319,7 @@ class SnapshotCacheStats:
     """Counters describing cache effectiveness (exported by benchmarks)."""
 
     __slots__ = ("hits", "misses", "builds", "invalidations", "evictions",
-                 "exact_fallbacks")
+                 "exact_fallbacks", "admission_rejects", "admission_ages")
 
     def __init__(self) -> None:
         self.reset()
@@ -323,6 +331,8 @@ class SnapshotCacheStats:
         self.invalidations = 0
         self.evictions = 0
         self.exact_fallbacks = 0
+        self.admission_rejects = 0
+        self.admission_ages = 0
 
     @property
     def hit_rate(self) -> float:
@@ -337,8 +347,94 @@ class SnapshotCacheStats:
             "invalidations": self.invalidations,
             "evictions": self.evictions,
             "exact_fallbacks": self.exact_fallbacks,
+            "admission_rejects": self.admission_rejects,
+            "admission_ages": self.admission_ages,
             "hit_rate": self.hit_rate,
         }
+
+
+class AdmissionFilter:
+    """TinyLFU-style frequency filter guarding cache admission.
+
+    Keeps an exact, exponentially-aged access-frequency table (the
+    bounded-memory variant of TinyLFU's count-min sketch — exact counts
+    in a dict, halved every ``sample_period`` accesses with zero entries
+    pruned, so the table tracks *recent* popularity in bounded space).
+
+    The cache records every access — hit or miss — and consults the
+    filter at eviction time: a candidate may only displace the LRU
+    victim when its recent frequency is **at least** the victim's.
+    One-hit-wonder scans (frequency 1) therefore recycle each other's
+    slots but can never displace a warmer entry, while equal-frequency
+    keys preserve plain LRU order, which keeps the policy a strict
+    refinement of the PR-1 cache.
+    """
+
+    __slots__ = ("sample_period", "table_cap", "on_age", "_counts",
+                 "_accesses")
+
+    def __init__(
+        self,
+        sample_period: int = _ADMISSION_SAMPLE_PERIOD,
+        table_cap: int = _ADMISSION_TABLE_CAP,
+        on_age=None,
+    ) -> None:
+        if sample_period < 1:
+            raise ConfigurationError(
+                f"sample_period must be >= 1, got {sample_period}"
+            )
+        if table_cap < 1:
+            raise ConfigurationError(
+                f"table_cap must be >= 1, got {table_cap}"
+            )
+        self.sample_period = sample_period
+        self.table_cap = table_cap
+        #: Optional zero-arg callback fired on every aging pass (the
+        #: cache counts them in its stats).
+        self.on_age = on_age
+        self._counts: Dict[Hashable, int] = {}
+        self._accesses = 0
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def record(self, key: Hashable) -> None:
+        """Count one access of ``key``; ages the table periodically.
+
+        Returns nothing — the hot path wants one dict upsert, not a
+        conditional on the caller side.
+        """
+        counts = self._counts
+        counts[key] = counts.get(key, 0) + 1
+        self._accesses += 1
+        if (
+            self._accesses >= self.sample_period
+            or len(counts) > self.table_cap
+        ):
+            self.age()
+
+    def estimate(self, key: Hashable) -> int:
+        """Recent access frequency of ``key`` (0 when never seen)."""
+        return self._counts.get(key, 0)
+
+    def admits(self, candidate: Hashable, victim: Hashable) -> bool:
+        """Whether ``candidate`` may evict ``victim``."""
+        return self._counts.get(candidate, 0) >= self._counts.get(victim, 0)
+
+    def age(self) -> None:
+        """Halve every count and prune zeros (the TinyLFU reset)."""
+        self._accesses = 0
+        self._counts = {
+            key: half
+            for key, count in self._counts.items()
+            if (half := count >> 1) > 0
+        }
+        if self.on_age is not None:
+            self.on_age()
+
+    def clear(self) -> None:
+        self._counts.clear()
+        self._accesses = 0
 
 
 class SnapshotCache:
@@ -355,6 +451,15 @@ class SnapshotCache:
     min_degree:
         Trees below this degree never enter the cache — a handful of
         scalar descents beats an array build for them.
+    admission:
+        Frequency-aware admission (default on): every access is counted
+        in a TinyLFU-style :class:`AdmissionFilter`, and at eviction
+        time a newly built snapshot may only displace the LRU victim
+        when its recent access frequency is at least the victim's.
+        One-hit-wonder scans therefore stop evicting hot entries while
+        equal-frequency keys keep exact LRU behaviour.  Pass ``False``
+        for the PR-1 pure-LRU policy, or an :class:`AdmissionFilter`
+        instance to control the aging parameters.
 
     Coherence policy (see module docstring): a cached entry is valid
     while ``entry.version == tree.version``.  On a version mismatch the
@@ -368,6 +473,7 @@ class SnapshotCache:
         "model",
         "min_degree",
         "stats",
+        "admission",
         "_entries",
         "_probation",
         "_bytes",
@@ -378,6 +484,7 @@ class SnapshotCache:
         capacity_bytes: int = DEFAULT_CAPACITY_BYTES,
         model: MemoryModel = DEFAULT_MEMORY_MODEL,
         min_degree: int = DEFAULT_MIN_DEGREE,
+        admission: Union[bool, "AdmissionFilter"] = True,
     ) -> None:
         if capacity_bytes < 0:
             raise ConfigurationError(
@@ -391,9 +498,19 @@ class SnapshotCache:
         self.model = model
         self.min_degree = min_degree
         self.stats = SnapshotCacheStats()
+        if admission is True:
+            admission = AdmissionFilter()
+        elif admission is False:
+            admission = None
+        self.admission: Optional[AdmissionFilter] = admission
+        if self.admission is not None:
+            self.admission.on_age = self._note_age
         self._entries: "OrderedDict[Hashable, TreeSnapshot]" = OrderedDict()
         self._probation: Dict[Hashable, int] = {}
         self._bytes = 0
+
+    def _note_age(self) -> None:
+        self.stats.admission_ages += 1
 
     # -- introspection ----------------------------------------------------
     def __len__(self) -> int:
@@ -430,6 +547,8 @@ class SnapshotCache:
             and entry.tree.version == entry.version
         ):
             self.stats.hits += 1
+            if self.admission is not None:
+                self.admission.record(key)
             self._entries.move_to_end(key)
             return entry
         return None
@@ -441,6 +560,8 @@ class SnapshotCache:
         (a :class:`~repro.core.samtree.Samtree` does).
         """
         version = tree.version
+        if self.admission is not None:
+            self.admission.record(key)
         entry = self._entries.get(key)
         if entry is not None:
             if entry.version == version:
@@ -478,6 +599,8 @@ class SnapshotCache:
         """Drop every entry (counters are kept; use ``stats.reset()``)."""
         self._entries.clear()
         self._probation.clear()
+        if self.admission is not None:
+            self.admission.clear()
         self._bytes = 0
 
     # -- internals --------------------------------------------------------
@@ -495,7 +618,16 @@ class SnapshotCache:
             # Larger than the whole budget: serve it, never cache it.
             return snapshot
         while self._bytes + cost > self.capacity_bytes and self._entries:
-            _, evicted = self._entries.popitem(last=False)
+            victim_key = next(iter(self._entries))
+            if self.admission is not None and not self.admission.admits(
+                key, victim_key
+            ):
+                # The LRU victim is recently hotter than the candidate:
+                # serve the snapshot but keep the cache contents (the
+                # TinyLFU admission decision).
+                self.stats.admission_rejects += 1
+                return snapshot
+            evicted = self._entries.pop(victim_key)
             self._bytes -= evicted.nbytes(self.model)
             self.stats.evictions += 1
         self._entries[key] = snapshot

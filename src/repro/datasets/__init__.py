@@ -18,12 +18,14 @@ from repro.datasets.statistics import (
     format_table3,
     published_table3_rows,
 )
-from repro.datasets.stream import EdgeStream
+from repro.datasets.stream import EdgeStream, RequestStream
 from repro.datasets.synthetic import (
     TYPE_ID_STRIDE,
     power_law_edges,
     type_offset,
     zipf_probabilities,
+    powerlaw_degrees,
+    zipf_request_sources,
 )
 
 __all__ = [
@@ -42,8 +44,11 @@ __all__ = [
     "format_table3",
     "published_table3_rows",
     "EdgeStream",
+    "RequestStream",
     "TYPE_ID_STRIDE",
     "power_law_edges",
     "type_offset",
     "zipf_probabilities",
+    "powerlaw_degrees",
+    "zipf_request_sources",
 ]

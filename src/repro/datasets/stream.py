@@ -16,12 +16,91 @@ from __future__ import annotations
 import random
 from typing import Iterator, List, Optional, Tuple
 
+import numpy as np
+
 from repro.core.ingest import EdgeBatch
 from repro.core.types import EdgeOp
 from repro.datasets.presets import GraphData
 from repro.errors import ConfigurationError
 
-__all__ = ["EdgeStream"]
+__all__ = ["EdgeStream", "RequestStream"]
+
+
+class RequestStream:
+    """Seeded Zipf-skewed *sampling request* batches — the read-side
+    counterpart of :class:`EdgeStream`.
+
+    Serving benchmarks, the hot-key tests, and ``repro obs --skew`` all
+    need the same thing: a reproducible power-law trace of
+    ``sample_neighbors_many`` frontiers over a known source universe.
+    ``exponent`` is the Zipf skew ``s`` (0.6 ≈ mild, 0.99 ≈ classic web,
+    1.4 ≈ celebrity-dominated); each batch is an ``int64`` array ready to
+    hand to the client.  Batches repeat sources *within* a batch at high
+    skew, which is what exercises request coalescing.
+    """
+
+    def __init__(
+        self,
+        num_sources: int,
+        exponent: float = 0.99,
+        seed: int = 0,
+        src_type: int = 0,
+        shuffle: bool = True,
+    ) -> None:
+        if num_sources < 1:
+            raise ConfigurationError(
+                f"num_sources must be >= 1, got {num_sources}"
+            )
+        if exponent < 0:
+            raise ConfigurationError(
+                f"exponent must be >= 0, got {exponent}"
+            )
+        self.num_sources = num_sources
+        self.exponent = exponent
+        self.src_type = src_type
+        self.shuffle = shuffle
+        self._rng = np.random.default_rng(seed)
+        # One probability vector + one rank->id permutation per stream,
+        # so every batch draws from the same popularity law.
+        from repro.datasets.synthetic import type_offset, zipf_probabilities
+
+        self._probs = zipf_probabilities(num_sources, exponent)
+        self._perm = (
+            self._rng.permutation(num_sources)
+            if shuffle
+            else np.arange(num_sources)
+        )
+        self._offset = type_offset(src_type)
+
+    def batch(self, batch_size: int) -> np.ndarray:
+        """One frontier of ``batch_size`` source IDs."""
+        if batch_size < 1:
+            raise ConfigurationError(
+                f"batch_size must be >= 1, got {batch_size}"
+            )
+        ranks = self._rng.choice(
+            self.num_sources, size=batch_size, p=self._probs
+        )
+        return self._perm[ranks].astype(np.int64) + self._offset
+
+    def batches(
+        self, batch_size: int, num_batches: int
+    ) -> Iterator[np.ndarray]:
+        """``num_batches`` frontiers of ``batch_size`` sources each."""
+        if num_batches < 0:
+            raise ConfigurationError(
+                f"num_batches must be >= 0, got {num_batches}"
+            )
+        for _ in range(num_batches):
+            yield self.batch(batch_size)
+
+    def hot_sources(self, n: int) -> np.ndarray:
+        """The ``n`` most probable source IDs, hottest first (ground
+        truth for tracker-accuracy tests)."""
+        if n < 0:
+            raise ConfigurationError(f"n must be >= 0, got {n}")
+        top_ranks = np.argsort(-self._probs, kind="stable")[:n]
+        return self._perm[top_ranks].astype(np.int64) + self._offset
 
 
 class EdgeStream:

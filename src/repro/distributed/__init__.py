@@ -3,15 +3,21 @@ fault injection, retry/backoff, shard replication, and the in-process
 cluster harness.
 """
 
-from repro.distributed.client import UNAVAILABLE, GraphClient
+from repro.distributed.client import UNAVAILABLE, GraphClient, ServingStats
 from repro.distributed.cluster import LocalCluster, ShardInfo
 from repro.distributed.faults import FaultInjector, FaultPolicy, FaultStats
+from repro.distributed.hotset import (
+    HotReplicaDirectory,
+    HotSetStats,
+    HotSetTracker,
+)
 from repro.distributed.partition import (
     HashBySourcePartitioner,
     Partitioner,
     splitmix64,
 )
 from repro.distributed.rebalance import (
+    MigrationStats,
     Move,
     OverridePartitioner,
     execute_plan,
@@ -23,15 +29,20 @@ from repro.distributed.server import GraphServer, ServerStats
 
 __all__ = [
     "GraphClient",
+    "ServingStats",
     "UNAVAILABLE",
     "LocalCluster",
     "ShardInfo",
     "FaultInjector",
     "FaultPolicy",
     "FaultStats",
+    "HotReplicaDirectory",
+    "HotSetStats",
+    "HotSetTracker",
     "HashBySourcePartitioner",
     "Partitioner",
     "splitmix64",
+    "MigrationStats",
     "Move",
     "OverridePartitioner",
     "execute_plan",

@@ -28,6 +28,7 @@ Fault tolerance:
 
 from __future__ import annotations
 
+import time
 from collections import defaultdict
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
@@ -37,6 +38,7 @@ from repro.core.ingest import EdgeBatch, IngestStats
 from repro.core.memory import DEFAULT_MEMORY_MODEL, MemoryModel
 from repro.core.snapshot import RNGLike
 from repro.core.types import DEFAULT_ETYPE, EdgeOp, GraphStoreAPI, OpKind
+from repro.distributed.hotset import HotReplicaDirectory, HotSetTracker
 from repro.distributed.partition import Partitioner
 from repro.distributed.retry import RetryPolicy
 from repro.distributed.rpc import NetworkModel
@@ -49,7 +51,7 @@ from repro.errors import (
 )
 from repro.obs.trace import NULL_SPAN
 
-__all__ = ["GraphClient", "UNAVAILABLE"]
+__all__ = ["GraphClient", "ServingStats", "UNAVAILABLE"]
 
 #: Modeled payload bytes per edge operation / sample request entry.
 _OP_BYTES = 8 + 8 + 4 + 1
@@ -83,6 +85,68 @@ UNAVAILABLE = _UnavailableType()
 _FAILOVER_ERRORS = (ShardUnavailableError, RetryExhaustedError)
 
 
+class ServingStats:
+    """Client-side serving counters (exported as ``repro_cache_*``).
+
+    Tracks the skew-aware serving layer: request coalescing (duplicate
+    in-flight sources within one ``sample_neighbors_many`` window are
+    shipped once per shard), hot-replica read spreading, and the
+    coherence write fan-out to hot copies.  ``busy_by_shard`` attributes
+    the *measured* client-observed service time of every batched
+    sampling RPC to the shard that served it — the zipf benchmark
+    derives modeled cluster makespan (max per-shard busy time, i.e. the
+    parallel-deployment bottleneck) from it.
+    """
+
+    __slots__ = (
+        "batches", "sources", "distinct_sources", "coalesced_sources",
+        "shard_rpcs", "grouped_rpcs", "hot_reads", "spread_reads",
+        "hot_write_ops", "hot_write_drops", "busy_seconds",
+        "busy_by_shard",
+    )
+
+    def __init__(self) -> None:
+        self.busy_by_shard: Dict[int, float] = {}
+        self.reset()
+
+    def reset(self) -> None:
+        self.batches = 0
+        #: Frontier rows requested through the batched sampling path.
+        self.sources = 0
+        #: Distinct (source, shard-window) keys actually shipped.
+        self.distinct_sources = 0
+        #: Duplicate rows answered from a coalesced fetch.
+        self.coalesced_sources = 0
+        self.shard_rpcs = 0
+        #: Per-shard RPCs that used the grouped (coalesced) endpoint.
+        self.grouped_rpcs = 0
+        #: Reads routed through the hot-replica directory.
+        self.hot_reads = 0
+        #: Hot reads served by a non-primary copy.
+        self.spread_reads = 0
+        #: Extra write messages keeping hot copies coherent.
+        self.hot_write_ops = 0
+        #: Hot copies dropped because their coherence write failed.
+        self.hot_write_drops = 0
+        #: Total measured in-RPC time of batched sampling (seconds).
+        self.busy_seconds = 0.0
+        self.busy_by_shard.clear()
+
+    @property
+    def coalesce_rate(self) -> float:
+        """Fraction of frontier rows deduplicated away before the wire."""
+        return self.coalesced_sources / self.sources if self.sources else 0.0
+
+    def to_dict(self) -> Dict[str, float]:
+        out = {
+            s: getattr(self, s)
+            for s in self.__slots__
+            if s != "busy_by_shard"
+        }
+        out["coalesce_rate"] = self.coalesce_rate
+        return out
+
+
 class GraphClient(GraphStoreAPI):
     """Store-shaped façade over a set of :class:`GraphServer` shards."""
 
@@ -95,6 +159,9 @@ class GraphClient(GraphStoreAPI):
         retry: Optional[RetryPolicy] = None,
         degraded_reads: bool = False,
         tracer=None,
+        hot_replicas: Optional[HotReplicaDirectory] = None,
+        hot_tracker: Optional[HotSetTracker] = None,
+        coalesce: bool = True,
     ) -> None:
         if len(servers) != partitioner.num_shards:
             raise PartitionError(
@@ -128,6 +195,17 @@ class GraphClient(GraphStoreAPI):
         self.retry = retry
         self.degraded_reads = degraded_reads
         self.tracer = tracer
+        #: Hot-vertex read-replica directory (empty = no spreading).
+        self.hot_replicas = (
+            hot_replicas if hot_replicas is not None else HotReplicaDirectory()
+        )
+        #: Optional decayed top-k read-frequency tracker fed by the
+        #: batched sampling path (drives replication decisions).
+        self.hot_tracker = hot_tracker
+        #: Coalesce duplicate in-flight sources within one batch window
+        #: (ship each distinct source once per shard).
+        self.coalesce = coalesce
+        self.serving_stats = ServingStats()
 
     # ------------------------------------------------------------------
     # routing helpers
@@ -239,6 +317,21 @@ class GraphClient(GraphStoreAPI):
             span.set_tag("applied", applied)
             return result
 
+    def _route_read(self, src: int) -> int:
+        """Owning shard of a read, spread across hot replicas when the
+        source is in the hot directory (round-robin over its read set)."""
+        hot = self.hot_replicas
+        if hot:
+            group = hot.shards(src)
+            if group:
+                shard = hot.route(src)
+                stats = self.serving_stats
+                stats.hot_reads += 1
+                if shard != group[0]:
+                    stats.spread_reads += 1
+                return shard
+        return self.partitioner.shard_for(src)
+
     def _live_store(self, shard: int):
         """First live replica's store (control-plane introspection —
         no fault injection, no network charge)."""
@@ -257,6 +350,38 @@ class GraphClient(GraphStoreAPI):
     # ------------------------------------------------------------------
     # single-edge updates (each one message per replica)
     # ------------------------------------------------------------------
+    def _hot_write_extras(self, src: int, payload_bytes: int, fn) -> None:
+        """Mirror a write to every extra hot copy of ``src``.
+
+        Hot read replicas are only safe to sample from while they are
+        byte-coherent with the primary, so every write path fans out to
+        the extra shards of a replicated source.  A copy whose
+        coherence write fails is dropped from the read set (reads stop
+        spreading there) instead of being served stale.
+        """
+        hot = self.hot_replicas
+        if not hot or src not in hot:
+            return
+        primary = self.partitioner.shard_for(src)
+        for shard in hot.extras(src, primary):
+            try:
+                self._write_shard(shard, payload_bytes, fn)
+                self.serving_stats.hot_write_ops += 1
+            except _FAILOVER_ERRORS:
+                hot.drop_shard(src, shard)
+                self.serving_stats.hot_write_drops += 1
+
+    def _apply_op(self, op: EdgeOp) -> bool:
+        result = self._write_shard(
+            self.partitioner.shard_for(op.src),
+            _OP_BYTES,
+            lambda s: s.apply_ops([op])[0],
+        )
+        self._hot_write_extras(
+            op.src, _OP_BYTES, lambda s: s.apply_ops([op])[0]
+        )
+        return result
+
     def add_edge(
         self,
         src: int,
@@ -264,32 +389,17 @@ class GraphClient(GraphStoreAPI):
         weight: float = 1.0,
         etype: int = DEFAULT_ETYPE,
     ) -> bool:
-        op = EdgeOp(OpKind.INSERT, src, dst, weight, etype)
-        return self._write_shard(
-            self.partitioner.shard_for(src),
-            _OP_BYTES,
-            lambda s: s.apply_ops([op])[0],
-        )
+        return self._apply_op(EdgeOp(OpKind.INSERT, src, dst, weight, etype))
 
     def update_edge(
         self, src: int, dst: int, weight: float, etype: int = DEFAULT_ETYPE
     ) -> bool:
-        op = EdgeOp(OpKind.UPDATE, src, dst, weight, etype)
-        return self._write_shard(
-            self.partitioner.shard_for(src),
-            _OP_BYTES,
-            lambda s: s.apply_ops([op])[0],
-        )
+        return self._apply_op(EdgeOp(OpKind.UPDATE, src, dst, weight, etype))
 
     def remove_edge(
         self, src: int, dst: int, etype: int = DEFAULT_ETYPE
     ) -> bool:
-        op = EdgeOp(OpKind.DELETE, src, dst, 0.0, etype)
-        return self._write_shard(
-            self.partitioner.shard_for(src),
-            _OP_BYTES,
-            lambda s: s.apply_ops([op])[0],
-        )
+        return self._apply_op(EdgeOp(OpKind.DELETE, src, dst, 0.0, etype))
 
     # ------------------------------------------------------------------
     # batched updates (one message per shard per replica)
@@ -313,7 +423,32 @@ class GraphClient(GraphStoreAPI):
                 )
                 for (i, _), result in zip(indexed, results):
                     outcomes[i] = result
+            self._hot_batch_extras(ops)
             return outcomes
+
+    def _hot_batch_extras(self, ops: Sequence[EdgeOp]) -> None:
+        """Mirror the hot-source subset of an op batch to extra copies."""
+        hot = self.hot_replicas
+        if not hot:
+            return
+        per_extra: Dict[int, List[EdgeOp]] = defaultdict(list)
+        for op in ops:
+            if op.src in hot:
+                primary = self.partitioner.shard_for(op.src)
+                for shard in hot.extras(op.src, primary):
+                    per_extra[shard].append(op)
+        for shard, shard_ops in per_extra.items():
+            try:
+                self._write_shard(
+                    shard,
+                    _OP_BYTES * len(shard_ops),
+                    lambda s, shard_ops=shard_ops: s.apply_ops(shard_ops),
+                )
+                self.serving_stats.hot_write_ops += 1
+            except _FAILOVER_ERRORS:
+                for op in shard_ops:
+                    hot.drop_shard(op.src, shard)
+                self.serving_stats.hot_write_drops += 1
 
     # ------------------------------------------------------------------
     # columnar bulk ingestion (one columnar message per shard per replica)
@@ -352,7 +487,41 @@ class GraphClient(GraphStoreAPI):
                     lambda s, sub=sub: s.ingest_batch(sub),
                 )
                 stats.merge_from(shard_stats)
+            hot = self.hot_replicas
+            if hot:
+                hot_srcs = np.fromiter(
+                    (src for src, _ in hot.items()), dtype=np.int64,
+                    count=len(hot),
+                )
+                mask = np.isin(batch.src, hot_srcs)
+                if mask.any():
+                    self._hot_columnar_extras(batch.select(
+                        np.flatnonzero(mask)
+                    ))
             return stats
+
+    def _hot_columnar_extras(self, hot_batch: EdgeBatch) -> None:
+        """Mirror the hot-source rows of a columnar batch to extra copies."""
+        hot = self.hot_replicas
+        primaries = self.partitioner.shards_for_array(hot_batch.src)
+        per_extra: Dict[int, List[int]] = defaultdict(list)
+        src_col = hot_batch.src.tolist()
+        for row, (src, primary) in enumerate(zip(src_col, primaries.tolist())):
+            for shard in hot.extras(src, primary):
+                per_extra[shard].append(row)
+        for shard, rows in per_extra.items():
+            sub = hot_batch.select(np.asarray(rows, dtype=np.int64))
+            try:
+                self._write_shard(
+                    shard,
+                    sub.payload_nbytes(),
+                    lambda s, sub=sub: s.ingest_batch(sub),
+                )
+                self.serving_stats.hot_write_ops += 1
+            except _FAILOVER_ERRORS:
+                for src in set(sub.src.tolist()):
+                    hot.drop_shard(src, shard)
+                self.serving_stats.hot_write_drops += 1
 
     def bulk_load(self, src, dst=None, weight=None, etype=None) -> IngestStats:
         """Insert-only columnar load across the cluster (graph build)."""
@@ -396,23 +565,62 @@ class GraphClient(GraphStoreAPI):
             lambda s: s.neighbors_batch([src], etype)[0],
         )
 
+    def _hot_copy_overcount(self) -> Tuple[int, int]:
+        """(edges, sources) counted more than once because of hot copies.
+
+        Hot-replicated adjacencies exist verbatim on every extra shard
+        (write-coherent), so naive per-shard sums overcount; subtracting
+        the extra copies keeps the logical totals stable whether or not
+        replication is active.
+        """
+        extra_edges = 0
+        extra_sources = 0
+        for src, group in self.hot_replicas.items():
+            for shard in group[1:]:
+                store = self._live_store(shard)
+                etypes = getattr(
+                    store, "etypes", lambda: [DEFAULT_ETYPE]
+                )()
+                degrees = [store.degree(src, et) for et in etypes]
+                extra_edges += sum(degrees)
+                if any(d > 0 for d in degrees):
+                    extra_sources += 1
+        return extra_edges, extra_sources
+
     @property
     def num_edges(self) -> int:
-        return sum(
+        total = sum(
             self._live_store(shard).num_edges
             for shard in range(len(self.replica_groups))
         )
+        if self.hot_replicas:
+            total -= self._hot_copy_overcount()[0]
+        return total
 
     @property
     def num_sources(self) -> int:
-        return sum(
+        total = sum(
             self._live_store(shard).num_sources
             for shard in range(len(self.replica_groups))
         )
+        if self.hot_replicas:
+            total -= self._hot_copy_overcount()[1]
+        return total
 
     def sources(self, etype: int = DEFAULT_ETYPE) -> Iterator[int]:
+        replicated = (
+            {src for src, _ in self.hot_replicas.items()}
+            if self.hot_replicas
+            else ()
+        )
+        emitted: set = set()
         for shard in range(len(self.replica_groups)):
-            yield from self._live_store(shard).sources(etype)
+            for src in self._live_store(shard).sources(etype):
+                if src in replicated:
+                    if src in emitted:
+                        continue
+                    emitted.add(src)
+                yield src
 
     # ------------------------------------------------------------------
     # sampling (one message per shard per batch)
@@ -424,8 +632,10 @@ class GraphClient(GraphStoreAPI):
         rng: RNGLike = None,
         etype: int = DEFAULT_ETYPE,
     ) -> List[int]:
+        if self.hot_tracker is not None:
+            self.hot_tracker.observe(int(src))
         return self._read_shard(
-            self.partitioner.shard_for(src),
+            self._route_read(src),
             _SAMPLE_REQ_BYTES + k * _SAMPLE_RESP_BYTES,
             lambda s: s.sample_neighbors_batch([src], k, rng, etype)[0],
         )
@@ -447,11 +657,45 @@ class GraphClient(GraphStoreAPI):
         exactly the incentive the network model rewards.  Sources owned
         by a fully-unavailable shard come back as :data:`UNAVAILABLE`
         rows when degraded reads are enabled.
+
+        Skew-aware extras (all no-ops in the default idle state):
+
+        * duplicate in-flight sources are **coalesced** — each distinct
+          source of the window is routed once and shipped once per
+          shard; a shard whose sub-batch contains duplicates is asked
+          through the grouped endpoint (distinct sources +
+          multiplicities) and its expanded reply is fanned back out to
+          every original position.  Every occurrence still receives its
+          own independent draws (the server expands locally), so the
+          sampled distribution matches the uncoalesced path;
+        * sources in the **hot-replica directory** rotate across their
+          replica set (all copies are write-coherent);
+        * the **hot tracker** observes every distinct source with its
+          window multiplicity;
+        * per-RPC service time is accumulated per shard in
+          :attr:`serving_stats` (the bench's modeled-makespan input).
         """
         srcs = list(srcs)
-        per_shard: Dict[int, List[int]] = defaultdict(list)
+        stats = self.serving_stats
+        stats.batches += 1
+        stats.sources += len(srcs)
+        # Dedup the window first (insertion order == first appearance),
+        # then route each *distinct* source once.
+        positions: Dict[int, List[int]] = {}
         for i, src in enumerate(srcs):
-            per_shard[self.partitioner.shard_for(src)].append(i)
+            bucket = positions.get(src)
+            if bucket is None:
+                positions[src] = [i]
+            else:
+                bucket.append(i)
+        stats.distinct_sources += len(positions)
+        tracker = self.hot_tracker
+        per_shard: Dict[int, List[Tuple[int, List[int]]]] = defaultdict(list)
+        for src, pos in positions.items():
+            if tracker is not None:
+                tracker.observe(src, len(pos))
+            per_shard[self._route_read(src)].append((src, pos))
+        uniform = endpoint == "sample_neighbors_uniform_many"
         with self._tspan(
             f"client.{endpoint}",
             sources=len(srcs),
@@ -459,21 +703,52 @@ class GraphClient(GraphStoreAPI):
             shards=len(per_shard),
         ):
             out: List[Sequence[int]] = [[] for _ in srcs]
-            for shard, positions in per_shard.items():
-                shard_srcs = [srcs[i] for i in positions]
-                results = self._read_shard(
-                    shard,
-                    len(shard_srcs)
-                    * (_SAMPLE_REQ_BYTES + k * _SAMPLE_RESP_BYTES),
-                    lambda s, ss=shard_srcs: getattr(s, endpoint)(
-                        ss, k, rng, etype
-                    ),
+            for shard, entries in per_shard.items():
+                rows = sum(len(pos) for _, pos in entries)
+                coalesced = self.coalesce and rows > len(entries)
+                if coalesced:
+                    # Reply rows come back in expanded (grouped) order:
+                    # counts[j] consecutive rows per distinct source.
+                    order = [i for _, pos in entries for i in pos]
+                    shard_srcs = [src for src, _ in entries]
+                    counts = [len(pos) for _, pos in entries]
+                    payload = (
+                        len(entries) * (_SAMPLE_REQ_BYTES + 2)
+                        + rows * k * _SAMPLE_RESP_BYTES
+                    )
+                    stats.grouped_rpcs += 1
+                    stats.coalesced_sources += rows - len(entries)
+
+                    def fn(s, ss=shard_srcs, cc=counts):
+                        return s.sample_neighbors_grouped(
+                            ss, cc, k, rng, etype, uniform
+                        )
+
+                else:
+                    # No duplicates on this shard (or coalescing off):
+                    # the PR-1 wire shape — position-ascending rows.
+                    order = sorted(i for _, pos in entries for i in pos)
+                    expanded = [srcs[i] for i in order]
+                    payload = len(expanded) * (
+                        _SAMPLE_REQ_BYTES + k * _SAMPLE_RESP_BYTES
+                    )
+
+                    def fn(s, ss=expanded):
+                        return getattr(s, endpoint)(ss, k, rng, etype)
+
+                stats.shard_rpcs += 1
+                started = time.perf_counter()
+                results = self._read_shard(shard, payload, fn)
+                elapsed = time.perf_counter() - started
+                stats.busy_seconds += elapsed
+                stats.busy_by_shard[shard] = (
+                    stats.busy_by_shard.get(shard, 0.0) + elapsed
                 )
                 if results is UNAVAILABLE:
-                    for i in positions:
+                    for i in order:
                         out[i] = UNAVAILABLE
                     continue
-                for i, res in zip(positions, results):
+                for i, res in zip(order, results):
                     out[i] = res
             return out
 

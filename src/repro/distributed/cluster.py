@@ -26,11 +26,18 @@ import os
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
+import numpy as np
+
+from repro.core.ingest import OP_DELETE, EdgeBatch
 from repro.core.memory import DEFAULT_MEMORY_MODEL, MemoryModel
 from repro.core.samtree import SamtreeConfig
-from repro.core.types import GraphStoreAPI
+from repro.core.types import DEFAULT_ETYPE, GraphStoreAPI
 from repro.distributed.client import GraphClient
 from repro.distributed.faults import FaultInjector, FaultPolicy
+from repro.distributed.hotset import (
+    DEFAULT_DECAY_INTERVAL,
+    HotSetTracker,
+)
 from repro.distributed.partition import HashBySourcePartitioner, Partitioner
 from repro.distributed.retry import RetryPolicy
 from repro.distributed.rpc import NetworkModel
@@ -98,6 +105,17 @@ class LocalCluster:
     tracer:
         Optional :class:`~repro.obs.trace.Tracer` handed to the client
         and every server, producing client→RPC→server span trees.
+    hot_set_capacity:
+        When > 0, attach a :class:`HotSetTracker` of that capacity to
+        the client's batched read path (decayed SpaceSaving top-k of
+        source read traffic) — the input of :meth:`replicate_hot` and
+        the traffic-based rebalance planner.
+    hot_decay_interval:
+        Halve the tracker's counts every this many observations.
+    coalesce:
+        Coalesce duplicate in-flight sources within each batched
+        sampling window (default on; the zipf bench's baseline mode
+        turns it off).
     """
 
     def __init__(
@@ -116,6 +134,9 @@ class LocalCluster:
         degraded_reads: bool = False,
         registry: Optional[MetricsRegistry] = None,
         tracer=None,
+        hot_set_capacity: int = 0,
+        hot_decay_interval: int = DEFAULT_DECAY_INTERVAL,
+        coalesce: bool = True,
     ) -> None:
         if num_servers < 1:
             raise ConfigurationError(
@@ -170,6 +191,13 @@ class LocalCluster:
         self.servers: List[GraphServer] = [g[0] for g in self.replica_groups]
         self.network = network
         self.tracer = tracer
+        #: Decayed top-k read-frequency tracker (``hot_set_capacity=0``
+        #: disables tracking — and with it ``replicate_hot``).
+        self.hot_tracker: Optional[HotSetTracker] = (
+            HotSetTracker(hot_set_capacity, hot_decay_interval)
+            if hot_set_capacity > 0
+            else None
+        )
         self.client = GraphClient(
             self.servers,
             self.partitioner,
@@ -178,7 +206,10 @@ class LocalCluster:
             retry=retry,
             degraded_reads=degraded_reads,
             tracer=tracer,
+            hot_tracker=self.hot_tracker,
+            coalesce=coalesce,
         )
+        self.hot_replicas = self.client.hot_replicas
         self.registry = registry if registry is not None else MetricsRegistry()
         register_cluster(self.registry, self)
         #: Trainers whose phase telemetry :meth:`reset_stats` should
@@ -252,6 +283,154 @@ class LocalCluster:
                 if server.alive:
                     compiled += server.freeze(etype)
         return compiled
+
+    # ------------------------------------------------------------------
+    # hot-vertex read replication (load, not fault-tolerance)
+    # ------------------------------------------------------------------
+    def replicate_hot(
+        self,
+        top_n: int = 8,
+        copies: int = 1,
+        min_count: int = 1,
+    ) -> List[Tuple[int, List[int]]]:
+        """Replicate the tracker's hottest sources to extra shards.
+
+        For each of the ``top_n`` hottest tracked sources (with decayed
+        count >= ``min_count``), copies its full adjacency to the
+        ``copies`` least-sampled shards that do not already hold it —
+        through the columnar ingest path via the client, so WALs and
+        fault-tolerance replica groups stay consistent — then installs
+        the source's read set in the hot-replica directory.  Reads
+        rotate across the set from the next batch on; writes fan out to
+        every copy (see :meth:`GraphClient._hot_write_extras`).
+
+        Returns ``(src, read_set)`` pairs actually installed.  Requires
+        ``hot_set_capacity > 0`` at construction.
+        """
+        if self.hot_tracker is None:
+            raise ConfigurationError(
+                "replicate_hot requires hot_set_capacity > 0"
+            )
+        if copies < 1:
+            raise ConfigurationError(f"copies must be >= 1, got {copies}")
+        num_shards = len(self.servers)
+        if num_shards < 2:
+            return []
+        directory = self.client.hot_replicas
+        installed: List[Tuple[int, List[int]]] = []
+        # Projected per-shard load: seeded from measured sampling
+        # traffic, then updated as each hot source's read set is placed —
+        # otherwise every hot source would pick the SAME least-loaded
+        # shards and simply mint new hot spots.
+        projected = [
+            float(server.stats.sample_sources) for server in self.servers
+        ]
+        for entry in self.hot_tracker.top(top_n):
+            if entry.count < min_count:
+                continue
+            src = entry.src
+            primary = self.partitioner.shard_for(src)
+            current = directory.shards(src) or [primary]
+            wanted = min(copies, num_shards - 1) - (len(current) - 1)
+            if wanted <= 0:
+                installed.append((src, list(current)))
+                continue
+            # Cheapest targets first: least projected sampling traffic.
+            targets = sorted(
+                (s for s in range(num_shards) if s not in current),
+                key=lambda s: projected[s],
+            )[:wanted]
+            read_set = list(current)
+            for shard in targets:
+                if self._copy_adjacency(src, primary, shard):
+                    read_set.append(shard)
+            if len(read_set) > 1:
+                directory.set_replicas(src, read_set)
+                installed.append((src, read_set))
+                # Round-robin reads split this source's traffic evenly
+                # across the read set from now on.
+                share = entry.count / len(read_set)
+                projected[primary] -= entry.count - share
+                for shard in read_set:
+                    if shard != primary:
+                        projected[shard] += share
+        return installed
+
+    def _copy_adjacency(self, src: int, from_shard: int, to_shard: int) -> bool:
+        """Copy one source's full adjacency between shards (columnar,
+        WAL-covered, replica-group coherent); returns success."""
+        store = self.client._live_store(from_shard)
+        etypes = getattr(store, "etypes", lambda: [DEFAULT_ETYPE])()
+        wrote = False
+        for etype in list(etypes):
+            adjacency = store.neighbors(src, etype)
+            if not adjacency:
+                continue
+            dsts = np.asarray([d for d, _ in adjacency], dtype=np.int64)
+            weights = np.asarray([w for _, w in adjacency], dtype=np.float64)
+            batch = EdgeBatch.inserts(
+                np.full(dsts.size, src, dtype=np.int64), dsts, weights, etype
+            )
+            try:
+                self.client._write_shard(
+                    to_shard,
+                    batch.payload_nbytes(),
+                    lambda s, b=batch: s.ingest_batch(b),
+                )
+            except Exception:
+                return False
+            wrote = True
+        return wrote
+
+    def drop_hot_replicas(self, srcs: Optional[List[int]] = None) -> int:
+        """Tear down hot read replicas (all of them by default).
+
+        Deletes each extra copy's adjacency through the columnar write
+        path and removes the source from the directory; returns the
+        number of copies dropped.  Reads fall back to the primary from
+        the next batch on.
+        """
+        directory = self.client.hot_replicas
+        targets = (
+            list(srcs)
+            if srcs is not None
+            else [src for src, _ in directory.items()]
+        )
+        dropped = 0
+        for src in targets:
+            group = directory.shards(src)
+            if not group:
+                continue
+            primary = self.partitioner.shard_for(src)
+            for shard in group:
+                if shard == primary:
+                    continue
+                store = self.client._live_store(shard)
+                etypes = getattr(
+                    store, "etypes", lambda: [DEFAULT_ETYPE]
+                )()
+                for etype in list(etypes):
+                    adjacency = store.neighbors(src, etype)
+                    if not adjacency:
+                        continue
+                    dsts = np.asarray(
+                        [d for d, _ in adjacency], dtype=np.int64
+                    )
+                    batch = EdgeBatch(
+                        np.full(dsts.size, src, dtype=np.int64),
+                        dsts,
+                        1.0,
+                        etype,
+                        OP_DELETE,
+                    )
+                    self.client._write_shard(
+                        shard,
+                        batch.payload_nbytes(),
+                        lambda s, b=batch: s.ingest_batch(b),
+                    )
+                dropped += 1
+            directory.drop(src)
+        return dropped
 
     def dead_replicas(self) -> List[Tuple[int, int]]:
         """``(shard, replica)`` pairs currently down."""
@@ -349,6 +528,9 @@ class LocalCluster:
             self.fault_injector.stats.reset()
         if self.retry is not None:
             self.retry.stats.reset()
+        self.client.serving_stats.reset()
+        if self.hot_tracker is not None:
+            self.hot_tracker.stats.reset()
         self.registry.reset_owned()
         for trainer in self._trainers:
             reset = getattr(trainer, "reset_phase_stats", None)

@@ -78,6 +78,10 @@ class ServerStats:
     update_requests: int = 0
     ingest_requests: int = 0
     sample_requests: int = 0
+    #: Frontier rows served by the sampling/adjacency read endpoints —
+    #: the per-shard *traffic volume* series (RPC counts hide skew once
+    #: the client batches one message per shard per window).
+    sample_sources: int = 0
     attribute_requests: int = 0
     ops_applied: int = 0
     recoveries: int = 0
@@ -89,6 +93,7 @@ class ServerStats:
         self.update_requests = 0
         self.ingest_requests = 0
         self.sample_requests = 0
+        self.sample_sources = 0
         self.attribute_requests = 0
         self.ops_applied = 0
         self.recoveries = 0
@@ -357,6 +362,7 @@ class GraphServer:
         with self._span("sample_neighbors_many", sources=len(srcs), k=k):
             self._serve("sample_neighbors_many")
             self.stats.sample_requests += 1
+            self.stats.sample_sources += len(srcs)
             with self._span(
                 "samtree.sample_many", _prefix="", sources=len(srcs)
             ):
@@ -375,11 +381,57 @@ class GraphServer:
         ):
             self._serve("sample_neighbors_uniform_many")
             self.stats.sample_requests += 1
+            self.stats.sample_sources += len(srcs)
             with self._span(
                 "samtree.sample_many", _prefix="", sources=len(srcs)
             ):
                 return self.store.sample_neighbors_uniform_many(
                     srcs, k, rng, etype
+                )
+
+    def sample_neighbors_grouped(
+        self,
+        srcs: Sequence[int],
+        counts: Sequence[int],
+        k: int,
+        rng: RNGLike = None,
+        etype: int = DEFAULT_ETYPE,
+        uniform: bool = False,
+    ):
+        """Coalesced batched sampling: distinct sources + multiplicities.
+
+        The client's request-coalescing path ships each duplicated
+        source **once** per shard together with its in-window
+        multiplicity; the server expands the frontier locally
+        (``np.repeat``) and answers through the same vectorized store
+        path as :meth:`sample_neighbors_many`, so every occurrence still
+        gets its own independent draws (sampling is i.i.d. with
+        replacement — expansion order is the client's fan-out order).
+        Returns rows in expanded order: ``counts[i]`` consecutive rows
+        of ``k`` draws for ``srcs[i]``.
+        """
+        with self._span(
+            "sample_neighbors_grouped",
+            sources=len(srcs),
+            k=k,
+            uniform=uniform,
+        ):
+            self._serve("sample_neighbors_grouped")
+            self.stats.sample_requests += 1
+            self.stats.sample_sources += int(sum(counts))
+            expanded = np.repeat(
+                np.asarray(srcs, dtype=np.int64),
+                np.asarray(counts, dtype=np.int64),
+            )
+            with self._span(
+                "samtree.sample_many", _prefix="", sources=expanded.size
+            ):
+                if uniform:
+                    return self.store.sample_neighbors_uniform_many(
+                        expanded, k, rng, etype
+                    )
+                return self.store.sample_neighbors_many(
+                    expanded, k, rng, etype
                 )
 
     def sample_neighbors_batch(
@@ -400,6 +452,7 @@ class GraphServer:
         """Full adjacency fetch (used by full-neighborhood aggregation)."""
         self._serve("neighbors_batch")
         self.stats.sample_requests += 1
+        self.stats.sample_sources += len(srcs)
         return [self.store.neighbors(s, etype) for s in srcs]
 
     def degrees(
@@ -408,6 +461,7 @@ class GraphServer:
         """Out-degrees of the given sources."""
         self._serve("degrees")
         self.stats.sample_requests += 1
+        self.stats.sample_sources += len(srcs)
         return [self.store.degree(s, etype) for s in srcs]
 
     def edge_weights(
@@ -419,6 +473,7 @@ class GraphServer:
         absent)."""
         self._serve("edge_weights")
         self.stats.sample_requests += 1
+        self.stats.sample_sources += len(pairs)
         return [self.store.edge_weight(s, d, etype) for s, d in pairs]
 
     # ------------------------------------------------------------------

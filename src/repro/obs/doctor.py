@@ -134,7 +134,12 @@ class DoctorReport:
         self.directory_entries = 0
         self.directory_load_factor = 0.0
         self.cache_entries = 0
-        self.cache_hit_rate = 0.0
+        self.cache_hit_rate = 0.0  #: worst single-shard rate (health signal)
+        #: Raw snapshot-cache counters summed over shards — the exact
+        #: aggregate rates the per-shard worst-rate above can't give.
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_admission_rejects = 0
         #: Frozen-shard occupancy (the CSC read images of
         #: :mod:`repro.core.frozen`): how many shards are compiled, how
         #: much of the graph they cover, and the worst epoch drift —
@@ -144,6 +149,16 @@ class DoctorReport:
         self.frozen_rows = 0
         self.frozen_edges = 0
         self.frozen_epoch_drift = 0
+        #: Frozen read-path serving counters (summed ``FrozenStats``).
+        self.frozen_vertices = 0
+        self.frozen_missing = 0
+        self.frozen_stale_misses = 0
+        #: Cluster-scope serving readout: the client's ``ServingStats``
+        #: dict (coalesce rate, hot reads, ...) — ``None`` at store scope.
+        self.serving: Optional[Dict[str, object]] = None
+        #: Hot-set top-k exemplars ``(src, count, error)``, hottest first.
+        self.hot_top: List[Tuple[int, int, int]] = []
+        self.hot_observations = 0
         self.components: Dict[str, int] = {}
         self.num_shards_seen = 0  #: live primaries walked (cluster scope)
 
@@ -181,6 +196,19 @@ class DoctorReport:
         if not splits:
             return 0.0
         return self.counters["split_imbalance_sum"] / splits
+
+    @property
+    def cache_hit_rate_aggregate(self) -> float:
+        """Exact hit rate over every shard's raw counters."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    @property
+    def frozen_hit_rate(self) -> float:
+        """Fraction of frozen-path frontier vertices served from a
+        compiled row (misses = no frozen row for the vertex)."""
+        total = self.frozen_vertices + self.frozen_missing
+        return self.frozen_vertices / total if total else 0.0
 
     @property
     def check_fill(self) -> float:
@@ -266,6 +294,10 @@ class DoctorReport:
             "snapshot_cache": {
                 "entries": self.cache_entries,
                 "hit_rate": self.cache_hit_rate,
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+                "hit_rate_aggregate": self.cache_hit_rate_aggregate,
+                "admission_rejects": self.cache_admission_rejects,
             },
             "frozen": {
                 "shards": self.frozen_shards,
@@ -277,6 +309,18 @@ class DoctorReport:
                     else 0.0
                 ),
                 "max_epoch_drift": self.frozen_epoch_drift,
+                "vertices_served": self.frozen_vertices,
+                "missing_vertices": self.frozen_missing,
+                "stale_misses": self.frozen_stale_misses,
+                "hit_rate": self.frozen_hit_rate,
+            },
+            "serving": self.serving,
+            "hot_set": {
+                "observations": self.hot_observations,
+                "top": [
+                    {"src": src, "count": count, "error": error}
+                    for src, count, error in self.hot_top
+                ],
             },
             "memory": {
                 "components": dict(sorted(self.components.items())),
@@ -353,8 +397,39 @@ class DoctorReport:
         )
         lines.append(
             f"  snapshot cache: entries={self.cache_entries} "
-            f"hit_rate={self.cache_hit_rate:.2f}"
+            f"hit_rate={self.cache_hit_rate:.2f} "
+            f"(aggregate={self.cache_hit_rate_aggregate:.2f}, "
+            f"{self.cache_hits} hits / {self.cache_misses} misses, "
+            f"admission_rejects={self.cache_admission_rejects})"
         )
+        if self.frozen_vertices or self.frozen_missing:
+            lines.append(
+                f"  frozen serving: hit_rate={self.frozen_hit_rate:.2f} "
+                f"({self.frozen_vertices} vertices, "
+                f"{self.frozen_missing} missing, "
+                f"{self.frozen_stale_misses} stale refusals)"
+            )
+        if self.serving is not None:
+            s = self.serving
+            lines.append(
+                "  serving: "
+                f"batches={int(s.get('batches', 0))} "
+                f"sources={int(s.get('sources', 0))} "
+                f"coalesce_rate={float(s.get('coalesce_rate', 0.0)):.2f} "
+                f"hot_reads={int(s.get('hot_reads', 0))} "
+                f"spread_reads={int(s.get('spread_reads', 0))}"
+            )
+        if self.hot_top:
+            lines.append(
+                f"  hot set (top {len(self.hot_top)} of "
+                f"{self.hot_observations} observed reads):"
+            )
+            total = self.hot_observations or 1
+            for src, count, error in self.hot_top:
+                lines.append(
+                    f"    src={src:<12} count={count:<8} "
+                    f"(±{error}) {100.0 * count / total:5.1f}%"
+                )
         if self.frozen_shards:
             coverage = (
                 self.frozen_edges / self.num_edges if self.num_edges else 0.0
@@ -456,6 +531,34 @@ class DoctorReport:
             "repro_doctor_cache_hit_rate", "Snapshot-cache hit rate"
         ).set(self.cache_hit_rate)
         g(
+            "repro_doctor_cache_hit_rate_aggregate",
+            "Snapshot-cache hit rate over all shards' raw counters",
+        ).set(self.cache_hit_rate_aggregate)
+        g(
+            "repro_doctor_cache_admission_rejects",
+            "Cache fills refused by the frequency admission filter",
+        ).set(self.cache_admission_rejects)
+        g(
+            "repro_doctor_frozen_hit_rate",
+            "Frozen read path frontier hit rate",
+        ).set(self.frozen_hit_rate)
+        if self.serving is not None:
+            g(
+                "repro_doctor_serving_coalesce_rate",
+                "Fraction of batched sample sources served by coalescing",
+            ).set(float(self.serving.get("coalesce_rate", 0.0)))
+            g(
+                "repro_doctor_serving_hot_reads",
+                "Reads routed through the hot-replica directory",
+            ).set(float(self.serving.get("hot_reads", 0)))
+        for rank, (src, count, _error) in enumerate(self.hot_top):
+            g(
+                "repro_doctor_hotset_count",
+                "Decayed read count of the top-k hottest sources",
+                rank=str(rank),
+                src=str(src),
+            ).set(count)
+        g(
             "repro_doctor_frozen_shards", "Compiled frozen CSC shards"
         ).set(self.frozen_shards)
         g(
@@ -498,13 +601,23 @@ def _observe_store(report: DoctorReport, store, model: MemoryModel) -> None:
     cache = getattr(store, "snapshot_cache", None)
     if cache is not None:
         report.cache_entries += len(cache)
-        # Aggregate hit-rate over shards would need the raw counters;
-        # keep the worst (lowest) observed rate as the health signal.
+        # Worst (lowest) single-shard rate is the health signal; the raw
+        # counters below give the exact aggregate alongside it.
         rate = cache.stats.hit_rate
         if report.num_shards_seen <= 1:
             report.cache_hit_rate = rate
         else:
             report.cache_hit_rate = min(report.cache_hit_rate, rate)
+        report.cache_hits += cache.stats.hits
+        report.cache_misses += cache.stats.misses
+        report.cache_admission_rejects += getattr(
+            cache.stats, "admission_rejects", 0
+        )
+    frozen_stats = getattr(store, "frozen_stats", None)
+    if frozen_stats is not None:
+        report.frozen_vertices += frozen_stats.vertices
+        report.frozen_missing += frozen_stats.missing_vertices
+        report.frozen_stale_misses += frozen_stats.stale_misses
     frozen = getattr(store, "frozen_shards", None)
     if frozen:
         epoch = getattr(store, "mutation_epoch", 0)
@@ -563,6 +676,16 @@ def diagnose_cluster(
         if wal is not None:
             wal_bytes += wal.nbytes
     report.add_components({"attributes": attr_bytes, "wal": wal_bytes})
+    serving = getattr(getattr(cluster, "client", None), "serving_stats", None)
+    if serving is not None:
+        report.serving = serving.to_dict()
+    tracker = getattr(cluster, "hot_tracker", None)
+    if tracker is not None:
+        report.hot_observations = tracker.stats.observations
+        report.hot_top = [
+            (int(e.src), int(e.count), int(e.error))
+            for e in tracker.top(10)
+        ]
     return report
 
 

@@ -214,6 +214,24 @@ def register_cluster(registry: MetricsRegistry, cluster) -> None:
     retry = getattr(cluster, "retry", None)
     if retry is not None:
         register_stats(registry, "repro_retry", retry.stats)
+    serving = getattr(getattr(cluster, "client", None), "serving_stats", None)
+    if serving is not None:
+        register_stats(registry, "repro_cache", serving)
+        registry.register_view(
+            "repro_cache_coalesce_rate",
+            lambda s=serving: float(s.coalesce_rate),
+            help="Fraction of batched sample sources served by coalescing",
+            kind="gauge",
+        )
+    tracker = getattr(cluster, "hot_tracker", None)
+    if tracker is not None:
+        register_stats(registry, "repro_hotset", tracker.stats)
+        registry.register_view(
+            "repro_hotset_tracked",
+            lambda t=tracker: float(len(t)),
+            help="Sources currently tracked by the hot-set sketch",
+            kind="gauge",
+        )
     for shard, group in enumerate(cluster.replica_groups):
         for r, server in enumerate(group):
             register_server(

@@ -70,6 +70,37 @@ def _counter_digest(snap: RegistrySnapshot) -> List[str]:
             ),
         },
     )
+    batches = _sum_by_name(snap, "repro_cache_batches")
+    if batches:
+        sources = _sum_by_name(snap, "repro_cache_sources")
+        coalesced = _sum_by_name(snap, "repro_cache_coalesced_sources")
+        row(
+            "serving",
+            {
+                "batches": _fmt(batches),
+                "sources": _fmt(sources),
+                "coalesce_rate": (
+                    f"{coalesced / sources:.2%}" if sources else "n/a"
+                ),
+                "hot_reads": _fmt(_sum_by_name(snap, "repro_cache_hot_reads")),
+                "spread": _fmt(
+                    _sum_by_name(snap, "repro_cache_spread_reads")
+                ),
+            },
+        )
+    observations = _sum_by_name(snap, "repro_hotset_observations")
+    if observations:
+        row(
+            "hotset",
+            {
+                "observed": _fmt(observations),
+                "tracked": _fmt(_sum_by_name(snap, "repro_hotset_tracked")),
+                "replacements": _fmt(
+                    _sum_by_name(snap, "repro_hotset_replacements")
+                ),
+                "decays": _fmt(_sum_by_name(snap, "repro_hotset_decays")),
+            },
+        )
     row(
         "retries",
         {

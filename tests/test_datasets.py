@@ -19,12 +19,14 @@ from repro.datasets.statistics import (
     format_table3,
     published_table3_rows,
 )
-from repro.datasets.stream import EdgeStream
+from repro.datasets.stream import EdgeStream, RequestStream
 from repro.datasets.synthetic import (
     TYPE_ID_STRIDE,
     power_law_edges,
+    powerlaw_degrees,
     type_offset,
     zipf_probabilities,
+    zipf_request_sources,
 )
 from repro.errors import ConfigurationError
 
@@ -68,6 +70,46 @@ class TestSynthetic:
             power_law_edges(0, 10, 10, rng)
         with pytest.raises(ConfigurationError):
             power_law_edges(10, 10, -1, rng)
+
+    def test_zipf_request_sources_skew_and_determinism(self):
+        draws = zipf_request_sources(
+            500, 4000, 1.4, np.random.default_rng(3), shuffle=False
+        )
+        assert draws.dtype == np.int64
+        assert draws.shape == (4000,)
+        ids, counts = np.unique(draws, return_counts=True)
+        # Unshuffled: rank == id, so id 0 is the celebrity.
+        assert ids[np.argmax(counts)] == 0
+        assert counts.max() / 4000 > 0.25
+        again = zipf_request_sources(
+            500, 4000, 1.4, np.random.default_rng(3), shuffle=False
+        )
+        assert np.array_equal(draws, again)
+
+    def test_zipf_request_sources_shuffle_and_type_offset(self):
+        draws = zipf_request_sources(
+            500, 2000, 1.2, np.random.default_rng(4), src_type=2
+        )
+        assert (draws >= type_offset(2)).all()
+        assert (draws < type_offset(3)).all()
+        # The shuffled hot key is (almost surely) not rank 0's id.
+        _, counts = np.unique(draws, return_counts=True)
+        assert counts.max() > 100
+        with pytest.raises(ConfigurationError):
+            zipf_request_sources(0, 10, 1.0, np.random.default_rng(0))
+        with pytest.raises(ConfigurationError):
+            zipf_request_sources(10, -1, 1.0, np.random.default_rng(0))
+
+    def test_powerlaw_degrees(self):
+        degrees = powerlaw_degrees(1000, hub_degree=10_000, min_degree=8)
+        assert degrees.shape == (1000,)
+        assert degrees[0] == 10_000
+        assert (np.diff(degrees) <= 0).all()  # rank-monotone
+        assert degrees[-1] == 8
+        with pytest.raises(ConfigurationError):
+            powerlaw_degrees(0, 100)
+        with pytest.raises(ConfigurationError):
+            powerlaw_degrees(10, 100, min_degree=0)
 
 
 class TestSpecs:
@@ -162,6 +204,49 @@ class TestStatistics:
         assert sum(hist.values()) > 0
         # Power-law: low-degree buckets dominate.
         assert max(hist, key=hist.get) <= 6
+
+
+class TestRequestStream:
+    def test_deterministic_by_seed(self):
+        a = RequestStream(1000, exponent=1.2, seed=5)
+        b = RequestStream(1000, exponent=1.2, seed=5)
+        for batch_a, batch_b in zip(a.batches(64, 4), b.batches(64, 4)):
+            assert np.array_equal(batch_a, batch_b)
+        c = RequestStream(1000, exponent=1.2, seed=6)
+        assert not np.array_equal(a.batch(64), c.batch(64))
+
+    def test_hot_sources_ground_truth(self):
+        stream = RequestStream(2000, exponent=1.4, seed=7)
+        hot = stream.hot_sources(3)
+        counts = {int(h): 0 for h in hot}
+        for batch in stream.batches(256, 30):
+            for src in batch:
+                if int(src) in counts:
+                    counts[int(src)] += 1
+        observed = sorted(counts, key=counts.get, reverse=True)
+        # The declared hottest key really dominates the trace.
+        assert observed[0] == int(hot[0])
+        assert counts[int(hot[0])] > 256 * 30 * 0.25
+
+    def test_skew_concentration_grows_with_exponent(self):
+        def top_share(exponent):
+            stream = RequestStream(2000, exponent=exponent, seed=8)
+            draws = np.concatenate(list(stream.batches(256, 20)))
+            _, counts = np.unique(draws, return_counts=True)
+            return counts.max() / draws.size
+
+        assert top_share(0.6) < top_share(0.99) < top_share(1.4)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RequestStream(0)
+        with pytest.raises(ConfigurationError):
+            RequestStream(10, exponent=-0.1)
+        stream = RequestStream(10)
+        with pytest.raises(ConfigurationError):
+            stream.batch(0)
+        with pytest.raises(ConfigurationError):
+            stream.hot_sources(-1)
 
 
 class TestEdgeStream:
