@@ -1,0 +1,223 @@
+"""Deadline-aware serving tier under chaos scenarios: SLO acceptance.
+
+The online inference tier (DESIGN.md §15) claims graceful degradation:
+under overload it sheds load *before* the expensive sample step and
+serves staleness-bounded cached answers, so availability holds while a
+shedding-free tier collapses.  This bench replays the seeded chaos
+scenarios of ``repro.serving.scenarios`` and records the SLO reports:
+
+* ``calm``            — baseline traffic; establishes the calm p99;
+* ``flash_crowd``     — a 30x arrival spike, run twice: with admission
+  control (the system under test) and with shedding disabled (the
+  control arm, which must *visibly* collapse — otherwise the scenario
+  is too easy to mean anything);
+* ``regional_outage`` — a shard crashes mid-run; every request landing
+  on it must be answered degraded from the last-good cache with zero
+  request-path exceptions;
+* ``brownout``        — injected latency spikes (tail inflation without
+  overload).
+
+Acceptance gates (the recorded claims, enforced with ``--check``):
+
+* flash crowd WITH shedding: availability >= 99% and p99 within 2x the
+  calm p99, with every shed accounted to a cause;
+* flash crowd WITHOUT shedding: availability < 99% (the control arm
+  collapses — proves the scenario actually overloads the tier);
+* regional outage: availability >= 99%, zero failed answers, zero
+  sampling exceptions, and at least one degraded answer.
+
+All scenario clocks are simulated (``NetworkModel``), so the recorded
+numbers are deterministic for a seed — the history gate
+(``bench_history.py --bench slo_serving``) flags availability or
+p99-headroom drift, not machine noise.  Emits JSON (``--out``, default
+stdout); ``--smoke`` shrinks the rig for CI.  The checked-in record is
+``BENCH_slo_serving.json``, appended to ``BENCH_HISTORY.jsonl`` via
+``bench_history.py record``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, List
+
+from repro.serving import run_scenario
+
+SEED = 20240808
+
+
+def run_one(
+    name: str,
+    shedding: bool,
+    num_sources: int,
+    num_shards: int,
+) -> Dict:
+    """Replay one scenario; returns its SLO report dict + wall seconds."""
+    start = time.perf_counter()
+    _rig, report = run_scenario(
+        name,
+        seed=SEED,
+        shedding=shedding,
+        rig_kwargs={"num_sources": num_sources, "num_shards": num_shards},
+    )
+    out = report.to_dict()
+    out["wall_s"] = time.perf_counter() - start
+    out["shedding"] = shedding
+    return out
+
+
+def run_benchmark(num_sources: int, num_shards: int) -> Dict:
+    results: Dict = {
+        "config": {
+            "num_sources": num_sources,
+            "num_shards": num_shards,
+            "seed": SEED,
+        },
+        "scenarios": {},
+    }
+    scenarios = results["scenarios"]
+    scenarios["calm"] = run_one("calm", True, num_sources, num_shards)
+    scenarios["flash_crowd"] = run_one(
+        "flash_crowd", True, num_sources, num_shards
+    )
+    scenarios["flash_crowd_noshed"] = run_one(
+        "flash_crowd", False, num_sources, num_shards
+    )
+    scenarios["regional_outage"] = run_one(
+        "regional_outage", True, num_sources, num_shards
+    )
+    scenarios["brownout"] = run_one("brownout", True, num_sources, num_shards)
+
+    calm_p99 = scenarios["calm"]["p99_seconds"]
+    flash_p99 = scenarios["flash_crowd"]["p99_seconds"]
+    # Higher-is-better gate figures (the bench_history metrics): the
+    # headroom ratio is (2x calm p99) / flash p99 — >= 1.0 means the
+    # flash-crowd tail stayed within twice the calm tail.
+    results["metrics"] = {
+        "availability_calm_pct": scenarios["calm"]["availability"] * 100.0,
+        "availability_flash_pct": (
+            scenarios["flash_crowd"]["availability"] * 100.0
+        ),
+        "availability_outage_pct": (
+            scenarios["regional_outage"]["availability"] * 100.0
+        ),
+        "p99_headroom_flash": (
+            (2.0 * calm_p99) / flash_p99 if flash_p99 else float("inf")
+        ),
+    }
+    return results
+
+
+def check_acceptance(results: Dict) -> List[str]:
+    """The recorded SLO claims; returns failure strings (empty = pass)."""
+    failures: List[str] = []
+    s = results["scenarios"]
+    m = results["metrics"]
+
+    flash = s["flash_crowd"]
+    if m["availability_flash_pct"] < 99.0:
+        failures.append(
+            f"flash_crowd (shedding): availability "
+            f"{m['availability_flash_pct']:.2f}% < 99%"
+        )
+    if m["p99_headroom_flash"] < 1.0:
+        failures.append(
+            f"flash_crowd (shedding): p99 {flash['p99_seconds'] * 1e3:.3f}ms "
+            f"exceeds 2x calm p99 "
+            f"{s['calm']['p99_seconds'] * 1e3:.3f}ms"
+        )
+    shed_total = sum(flash["shed"].values())
+    if shed_total <= 0:
+        failures.append(
+            "flash_crowd (shedding): no sheds recorded — the spike never "
+            "pressured admission"
+        )
+
+    noshed = s["flash_crowd_noshed"]
+    if noshed["availability"] >= 0.99:
+        failures.append(
+            f"flash_crowd (no shedding): availability "
+            f"{noshed['availability'] * 100:.2f}% did not collapse below "
+            f"99% — the control arm proves nothing"
+        )
+
+    outage = s["regional_outage"]
+    if m["availability_outage_pct"] < 99.0:
+        failures.append(
+            f"regional_outage: availability "
+            f"{m['availability_outage_pct']:.2f}% < 99%"
+        )
+    if outage["failed"] != 0:
+        failures.append(
+            f"regional_outage: {outage['failed']} failed answers (want 0)"
+        )
+    if outage["sample_errors"] != 0:
+        failures.append(
+            f"regional_outage: {outage['sample_errors']} sampling "
+            f"exceptions reached the request path (want 0)"
+        )
+    if outage["answered_degraded"] <= 0:
+        failures.append(
+            "regional_outage: no degraded answers — the outage never hit "
+            "the degraded path"
+        )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small rig for CI (scenario schedules are identical; only "
+        "the vertex universe shrinks)",
+    )
+    parser.add_argument(
+        "--out", default=None, help="write JSON here (default: stdout)"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="enforce the SLO acceptance gates (exit 1 on violation); "
+        "applied in both smoke and full modes — the simulated clock "
+        "makes the numbers deterministic",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        results = run_benchmark(num_sources=400, num_shards=4)
+    else:
+        results = run_benchmark(num_sources=2000, num_shards=4)
+    results["mode"] = "smoke" if args.smoke else "full"
+
+    payload = json.dumps(results, indent=2, sort_keys=True)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(payload + "\n")
+    else:
+        print(payload)
+
+    for name, entry in results["scenarios"].items():
+        print(
+            f"[bench_slo_serving] {name}: availability "
+            f"{entry['availability'] * 100:.2f}% "
+            f"p99 {entry['p99_seconds'] * 1e3:.3f}ms "
+            f"degraded {entry['degraded_fraction'] * 100:.1f}% "
+            f"shed {sum(entry['shed'].values())} "
+            f"missed {entry['deadline_missed']} "
+            f"failed {entry['failed']}",
+            file=sys.stderr,
+        )
+
+    failures = check_acceptance(results)
+    if args.check and failures:
+        for failure in failures:
+            print(f"[bench_slo_serving] FAIL: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

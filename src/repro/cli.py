@@ -18,7 +18,12 @@ Operational entry points a deployment actually uses:
                    report — depth/fill histograms, α-Split pivot
                    quality, per-component memory breakdown — with an
                    optional ``--fail-on fill=0.4,depth=4`` health gate
-                   (DESIGN.md §12; exit code 3 on violation).
+                   (DESIGN.md §12; exit code 3 on violation);
+* ``serve-sim``  — run a seeded chaos scenario (flash crowd, regional
+                   outage, brownout, ...) against the deadline-aware
+                   online inference tier and print its SLO report
+                   (DESIGN.md §15; exit code 3 when the availability
+                   target is violated).
 """
 
 from __future__ import annotations
@@ -269,6 +274,29 @@ def _cmd_doctor(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_sim(args: argparse.Namespace) -> int:
+    """Run one chaos scenario against the serving tier, print the SLO."""
+    import json
+
+    from repro.serving import run_scenario
+
+    rig, report = run_scenario(
+        args.scenario,
+        seed=args.seed,
+        shedding=not args.no_shedding,
+        rig_kwargs={
+            "num_shards": args.shards,
+            "num_sources": args.vertices,
+        },
+        target_availability=args.target,
+    )
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return 0 if report.meets_target else 3
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -403,6 +431,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_doctor.add_argument("--seed", type=int, default=0)
     p_doctor.set_defaults(func=_cmd_doctor)
+
+    p_serve = sub.add_parser(
+        "serve-sim",
+        help="run a seeded chaos scenario against the deadline-aware "
+        "serving tier and print its SLO report",
+    )
+    p_serve.add_argument(
+        "--scenario",
+        default="calm",
+        choices=[
+            "calm",
+            "diurnal",
+            "flash_crowd",
+            "churn_burst",
+            "regional_outage",
+            "brownout",
+        ],
+        help="seeded traffic/fault schedule to replay",
+    )
+    p_serve.add_argument(
+        "--no-shedding",
+        action="store_true",
+        help="disable admission control (the control arm: under a flash "
+        "crowd the tier collapses instead of degrading gracefully)",
+    )
+    p_serve.add_argument(
+        "--format",
+        default="human",
+        choices=["human", "json"],
+        help="human SLO block or JSON dump",
+    )
+    p_serve.add_argument(
+        "--target",
+        type=float,
+        default=0.99,
+        help="availability target for the error-budget burn (exit 3 "
+        "when violated)",
+    )
+    p_serve.add_argument("--shards", type=int, default=4)
+    p_serve.add_argument(
+        "--vertices", type=int, default=400, help="vertex universe size"
+    )
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.set_defaults(func=_cmd_serve_sim)
     return parser
 
 

@@ -20,6 +20,7 @@ from repro.core.snapshot import RNGLike, coerce_scalar_rng
 
 __all__ = [
     "DEFAULT_ETYPE",
+    "UNAVAILABLE",
     "Edge",
     "OpKind",
     "EdgeOp",
@@ -28,6 +29,29 @@ __all__ = [
 
 #: Edge type used when the graph is homogeneous.
 DEFAULT_ETYPE = 0
+
+
+class _UnavailableType(tuple):
+    """Singleton marker for results from shards with no live replica.
+
+    An empty tuple subclass: falsy, iterates empty (samplers degrade
+    gracefully), and identity-testable (``row is UNAVAILABLE``).  Lives
+    here rather than in the distributed layer so store-agnostic
+    consumers (the GNN samplers, the serving tier) can detect degraded
+    rows without importing ``repro.distributed``.
+    """
+
+    __slots__ = ()
+
+    def __new__(cls) -> "_UnavailableType":
+        return super().__new__(cls, ())
+
+    def __repr__(self) -> str:
+        return "<UNAVAILABLE>"
+
+
+#: Per-source marker returned by degraded reads.
+UNAVAILABLE = _UnavailableType()
 
 #: ``slots=True`` (3.10+) removes the per-instance ``__dict__`` from the
 #: per-edge record types — millions of them are alive during a stream

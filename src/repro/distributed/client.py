@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import time
 from collections import defaultdict
+from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -37,7 +38,14 @@ import numpy as np
 from repro.core.ingest import EdgeBatch, IngestStats
 from repro.core.memory import DEFAULT_MEMORY_MODEL, MemoryModel
 from repro.core.snapshot import RNGLike
-from repro.core.types import DEFAULT_ETYPE, EdgeOp, GraphStoreAPI, OpKind
+from repro.core.types import (
+    DEFAULT_ETYPE,
+    UNAVAILABLE,
+    EdgeOp,
+    GraphStoreAPI,
+    OpKind,
+    _UnavailableType,
+)
 from repro.distributed.hotset import HotReplicaDirectory, HotSetTracker
 from repro.distributed.partition import Partitioner
 from repro.distributed.retry import RetryPolicy
@@ -61,24 +69,9 @@ _SAMPLE_RESP_BYTES = 8
 _QUERY_BYTES = 16
 
 
-class _UnavailableType(tuple):
-    """Singleton marker for results from shards with no live replica.
-
-    An empty tuple subclass: falsy, iterates empty (samplers degrade
-    gracefully), and identity-testable (``row is UNAVAILABLE``).
-    """
-
-    __slots__ = ()
-
-    def __new__(cls) -> "_UnavailableType":
-        return super().__new__(cls, ())
-
-    def __repr__(self) -> str:
-        return "<UNAVAILABLE>"
-
-
-#: Per-source marker returned by degraded reads.
-UNAVAILABLE = _UnavailableType()
+# ``UNAVAILABLE`` / ``_UnavailableType`` now live in ``repro.core.types``
+# (store-agnostic consumers need them without importing this package);
+# re-exported here for backward compatibility.
 
 #: Failures that make one replica useless for this request but leave
 #: the rest of the group worth trying.
@@ -206,6 +199,30 @@ class GraphClient(GraphStoreAPI):
         #: (ship each distinct source once per shard).
         self.coalesce = coalesce
         self.serving_stats = ServingStats()
+        #: Absolute per-request deadline (on the network clock) applied
+        #: to every RPC issued while a :meth:`deadline_scope` is active.
+        self._request_deadline: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # per-request deadlines
+    # ------------------------------------------------------------------
+    @contextmanager
+    def deadline_scope(self, deadline: Optional[float]):
+        """Apply an *absolute* deadline to every RPC inside the block.
+
+        ``deadline`` is a point on the same clock the retry policy
+        measures (``network.now`` when a network model is attached) —
+        once it passes, in-flight retries raise
+        :class:`~repro.errors.DeadlineExceededError` instead of burning
+        backoff budget the request no longer has.  Scopes nest; the
+        innermost wins and the previous value is restored on exit.
+        """
+        prev = self._request_deadline
+        self._request_deadline = deadline
+        try:
+            yield self
+        finally:
+            self._request_deadline = prev
 
     # ------------------------------------------------------------------
     # routing helpers
@@ -257,9 +274,12 @@ class GraphClient(GraphStoreAPI):
             return attempt()
         if self.network is not None:
             return self.retry.run(
-                attempt, now=self.network.now, sleep=self.network.sleep
+                attempt,
+                now=self.network.now,
+                sleep=self.network.sleep,
+                deadline=self._request_deadline,
             )
-        return self.retry.run(attempt)
+        return self.retry.run(attempt, deadline=self._request_deadline)
 
     def _read_shard(self, shard: int, payload_bytes: int, fn):
         """Read with failover: primary first, then backups in order.

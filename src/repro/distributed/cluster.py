@@ -531,6 +531,12 @@ class LocalCluster:
         self.client.serving_stats.reset()
         if self.hot_tracker is not None:
             self.hot_tracker.stats.reset()
+        # The online inference tier registers itself on construction
+        # (``repro.serving.service.InferenceService``); clear its
+        # request counters and latency histogram with everything else.
+        service = getattr(self, "inference_service", None)
+        if service is not None:
+            service.reset_stats()
         self.registry.reset_owned()
         for trainer in self._trainers:
             reset = getattr(trainer, "reset_phase_stats", None)

@@ -142,6 +142,18 @@ class FaultInjector:
     def resume(self) -> None:
         self._armed = True
 
+    def set_policy(self, policy: "FaultPolicy") -> "FaultPolicy":
+        """Swap the active fault policy, returning the previous one.
+
+        Scenario harnesses use this as a runtime chaos knob (e.g. a
+        brownout phase raises ``latency_spike_rate`` mid-run and
+        restores the returned policy afterwards).  The RNG stream is
+        untouched, so a swapped-and-restored schedule stays replayable.
+        """
+        previous = self.policy
+        self.policy = policy
+        return previous
+
     # ------------------------------------------------------------------
     # the hook servers call on every endpoint entry
     # ------------------------------------------------------------------

@@ -124,6 +124,21 @@ class RetryPolicy:
         self._rng = random.Random(self.seed)
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def remaining(
+        deadline: Optional[float], now: Optional[Callable[[], float]] = None
+    ) -> float:
+        """Seconds left until an *absolute* ``deadline`` on ``now``'s clock.
+
+        Returns ``inf`` when no deadline is set and never goes negative —
+        admission gates compare this against their estimated service time
+        to shed requests whose deadline is already unmeetable.
+        """
+        if deadline is None:
+            return float("inf")
+        current = now() if now is not None else 0.0
+        return max(0.0, deadline - current)
+
     def backoff_for(self, attempt: int) -> float:
         """Jittered delay before retry number ``attempt`` (1-based)."""
         delay = self.base_backoff_seconds * (
@@ -138,6 +153,7 @@ class RetryPolicy:
         fn: Callable[[], T],
         now: Optional[Callable[[], float]] = None,
         sleep: Optional[Callable[[float], object]] = None,
+        deadline: Optional[float] = None,
     ) -> T:
         """Invoke ``fn`` with retries on :class:`TransientRPCError`.
 
@@ -146,12 +162,39 @@ class RetryPolicy:
         backoff sleep (the client passes ``NetworkModel.sleep``).  Any
         exception other than :class:`TransientRPCError` propagates
         untouched.
+
+        ``deadline`` is an *absolute* point on ``now``'s clock (the
+        serving tier threads each request's deadline through
+        ``GraphClient.deadline_scope``), enforced alongside the policy's
+        own relative ``deadline_seconds`` budget.  An already-expired
+        deadline raises :class:`DeadlineExceededError` before the first
+        attempt — a hopeless request never burns retry budget it no
+        longer has.
         """
         virtual = 0.0
         start = now() if now is not None else 0.0
 
         def elapsed() -> float:
             return (now() - start) if now is not None else virtual
+
+        def clock() -> float:
+            return now() if now is not None else start + virtual
+
+        def budget_left() -> float:
+            """Seconds until the tighter of the two deadlines (inf = none)."""
+            left = float("inf")
+            if self.deadline_seconds is not None:
+                left = self.deadline_seconds - elapsed()
+            if deadline is not None:
+                left = min(left, deadline - clock())
+            return left
+
+        if deadline is not None and clock() >= deadline:
+            self.stats.deadline_exceeded += 1
+            raise DeadlineExceededError(
+                f"absolute deadline {deadline:.6f}s already passed at "
+                f"{clock():.6f}s — request not attempted"
+            )
 
         last_exc: Optional[TransientRPCError] = None
         for attempt in range(1, self.max_attempts + 1):
@@ -161,22 +204,20 @@ class RetryPolicy:
             except TransientRPCError as exc:
                 last_exc = exc
                 self.stats.transient_failures += 1
-                deadline = self.deadline_seconds
-                if deadline is not None and elapsed() >= deadline:
+                if budget_left() <= 0.0:
                     self.stats.deadline_exceeded += 1
                     raise DeadlineExceededError(
-                        f"request deadline of {deadline}s exceeded after "
-                        f"{attempt} attempt(s) "
-                        f"({elapsed():.6f}s simulated)"
+                        f"request deadline exceeded after {attempt} "
+                        f"attempt(s) ({elapsed():.6f}s simulated)"
                     ) from exc
                 if attempt == self.max_attempts:
                     break
                 delay = self.backoff_for(attempt)
-                if deadline is not None and elapsed() + delay >= deadline:
+                if delay >= budget_left():
                     self.stats.deadline_exceeded += 1
                     raise DeadlineExceededError(
-                        f"request deadline of {deadline}s would elapse "
-                        f"during backoff (attempt {attempt})"
+                        f"request deadline would elapse during backoff "
+                        f"(attempt {attempt})"
                     ) from exc
                 self.stats.retries += 1
                 self.stats.backoff_seconds += delay

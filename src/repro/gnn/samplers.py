@@ -23,7 +23,7 @@ from typing import List, Optional, Sequence, Set, Tuple
 import numpy as np
 
 from repro.core.snapshot import RNGLike, coerce_scalar_rng
-from repro.core.types import DEFAULT_ETYPE, GraphStoreAPI
+from repro.core.types import DEFAULT_ETYPE, UNAVAILABLE, GraphStoreAPI
 from repro.errors import ConfigurationError
 from repro.obs.trace import NULL_SPAN
 
@@ -32,6 +32,7 @@ __all__ = [
     "sample_seed_nodes",
     "sample_neighbor_matrix",
     "sample_blocks",
+    "sample_blocks_partial",
     "sample_subgraph",
     "sample_metapath",
 ]
@@ -168,6 +169,67 @@ def sample_blocks(
             )
         levels.append(matrix.reshape(-1))
     return MiniBatchBlocks(levels=levels, fanouts=list(fanouts))
+
+
+def sample_blocks_partial(
+    store: GraphStoreAPI,
+    seeds: Sequence[int],
+    fanouts: Sequence[int],
+    rng: RNGLike = None,
+    etype: int = DEFAULT_ETYPE,
+) -> Tuple[Optional[MiniBatchBlocks], List[int], List[int]]:
+    """Multi-hop expansion tolerating degraded-read seed rows.
+
+    Under a cluster client with ``degraded_reads=True``, seeds whose
+    owning shard has no live replica come back as the
+    :data:`~repro.core.types.UNAVAILABLE` marker.  :func:`sample_blocks`
+    would silently pad those rows with self-loops — destroying the
+    outage signal — so the serving tier uses this variant instead:
+
+    * hop 0 is sampled directly through ``sample_neighbors_many`` and
+      each row is identity-tested against ``UNAVAILABLE``;
+    * unavailable seeds are *dropped* from the batch and reported in
+      ``unavailable_idx`` (positions into ``seeds``) so the caller can
+      answer them from a degraded cache;
+    * the surviving seeds expand through the normal per-hop path
+      (genuinely empty rows still self-loop-pad; a shard that dies
+      mid-expansion degrades deeper hops to self-loops — the answer is
+      fresh at hop 0, which is what the breaker keys on).
+
+    Returns ``(blocks, served_idx, unavailable_idx)``; ``blocks`` is
+    ``None`` when no seed was servable.  ``blocks.levels[0]`` holds only
+    the served seeds, in ``served_idx`` order.
+    """
+    if not fanouts:
+        raise ConfigurationError("fanouts must be non-empty")
+    seed_list = [int(s) for s in seeds]
+    rng = coerce_scalar_rng(rng)
+    rows = store.sample_neighbors_many(seed_list, fanouts[0], rng, etype)
+    served_idx: List[int] = []
+    unavailable_idx: List[int] = []
+    for i, row in enumerate(rows):
+        if row is UNAVAILABLE:
+            unavailable_idx.append(i)
+        else:
+            served_idx.append(i)
+    if not served_idx:
+        return None, [], unavailable_idx
+    fanout0 = fanouts[0]
+    matrix = np.empty((len(served_idx), fanout0), dtype=np.int64)
+    for j, i in enumerate(served_idx):
+        row = rows[i]
+        matrix[j] = row if len(row) else [seed_list[i]] * fanout0
+    levels = [
+        np.asarray([seed_list[i] for i in served_idx], dtype=np.int64),
+        matrix.reshape(-1),
+    ]
+    for fanout in fanouts[1:]:
+        matrix = sample_neighbor_matrix(
+            store, levels[-1].tolist(), fanout, rng, etype
+        )
+        levels.append(matrix.reshape(-1))
+    blocks = MiniBatchBlocks(levels=levels, fanouts=list(fanouts))
+    return blocks, served_idx, unavailable_idx
 
 
 def sample_subgraph(

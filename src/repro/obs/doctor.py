@@ -156,6 +156,10 @@ class DoctorReport:
         #: Cluster-scope serving readout: the client's ``ServingStats``
         #: dict (coalesce rate, hot reads, ...) — ``None`` at store scope.
         self.serving: Optional[Dict[str, object]] = None
+        #: Online inference tier readout (``ServiceStats.to_dict`` of the
+        #: cluster's attached ``InferenceService``) — ``None`` when no
+        #: service is attached or at store scope.
+        self.inference: Optional[Dict[str, float]] = None
         #: Hot-set top-k exemplars ``(src, count, error)``, hottest first.
         self.hot_top: List[Tuple[int, int, int]] = []
         self.hot_observations = 0
@@ -315,6 +319,7 @@ class DoctorReport:
                 "hit_rate": self.frozen_hit_rate,
             },
             "serving": self.serving,
+            "inference": self.inference,
             "hot_set": {
                 "observations": self.hot_observations,
                 "top": [
@@ -418,6 +423,18 @@ class DoctorReport:
                 f"coalesce_rate={float(s.get('coalesce_rate', 0.0)):.2f} "
                 f"hot_reads={int(s.get('hot_reads', 0))} "
                 f"spread_reads={int(s.get('spread_reads', 0))}"
+            )
+        if self.inference is not None:
+            i = self.inference
+            lines.append(
+                "  inference tier: "
+                f"submitted={int(i.get('submitted', 0))} "
+                f"fresh={int(i.get('answered_fresh', 0))} "
+                f"degraded={int(i.get('answered_degraded', 0))} "
+                f"failed={int(i.get('failed', 0))} "
+                f"shed={int(i.get('shed_total', 0))} "
+                f"missed={int(i.get('deadline_missed', 0))} "
+                f"availability={float(i.get('availability', 1.0)):.2%}"
             )
         if self.hot_top:
             lines.append(
@@ -551,6 +568,19 @@ class DoctorReport:
                 "repro_doctor_serving_hot_reads",
                 "Reads routed through the hot-replica directory",
             ).set(float(self.serving.get("hot_reads", 0)))
+        if self.inference is not None:
+            g(
+                "repro_doctor_inference_availability",
+                "Fraction of serving-tier requests answered in deadline",
+            ).set(float(self.inference.get("availability", 1.0)))
+            g(
+                "repro_doctor_inference_shed",
+                "Serving-tier requests shed by admission control",
+            ).set(float(self.inference.get("shed_total", 0)))
+            g(
+                "repro_doctor_inference_degraded",
+                "Serving-tier requests answered from the stale cache",
+            ).set(float(self.inference.get("answered_degraded", 0)))
         for rank, (src, count, _error) in enumerate(self.hot_top):
             g(
                 "repro_doctor_hotset_count",
@@ -679,6 +709,9 @@ def diagnose_cluster(
     serving = getattr(getattr(cluster, "client", None), "serving_stats", None)
     if serving is not None:
         report.serving = serving.to_dict()
+    inference = getattr(cluster, "inference_service", None)
+    if inference is not None:
+        report.inference = inference.stats.to_dict()
     tracker = getattr(cluster, "hot_tracker", None)
     if tracker is not None:
         report.hot_observations = tracker.stats.observations

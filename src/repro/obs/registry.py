@@ -333,6 +333,17 @@ class MetricsRegistry:
             if e.kind == "histogram"
         ]
 
+    def has(self, name: str, **labels) -> bool:
+        """Whether ``(name, labels)`` is already registered.
+
+        Lets components that register non-idempotent entries (views,
+        external histograms) guard against double registration when
+        they may be constructed more than once against one registry.
+        """
+        key = (name, _canon_labels(labels))
+        with self._lock:
+            return key in self._entries
+
     def names(self) -> List[str]:
         with self._lock:
             return sorted({name for name, _ in self._entries})

@@ -88,6 +88,31 @@ def _counter_digest(snap: RegistrySnapshot) -> List[str]:
                 ),
             },
         )
+    submitted = _sum_by_name(snap, "repro_serving_submitted")
+    if submitted:
+        answered = _sum_by_name(
+            snap, "repro_serving_answered_fresh"
+        ) + _sum_by_name(snap, "repro_serving_answered_degraded")
+        shed = (
+            _sum_by_name(snap, "repro_serving_shed_queue_full")
+            + _sum_by_name(snap, "repro_serving_shed_deadline_hopeless")
+            + _sum_by_name(snap, "repro_serving_shed_breaker_open")
+        )
+        row(
+            "inference",
+            {
+                "submitted": _fmt(submitted),
+                "answered": _fmt(answered),
+                "degraded": _fmt(
+                    _sum_by_name(snap, "repro_serving_answered_degraded")
+                ),
+                "shed": _fmt(shed),
+                "missed": _fmt(
+                    _sum_by_name(snap, "repro_serving_deadline_missed")
+                ),
+                "availability": f"{_sum_by_name(snap, 'repro_serving_availability'):.2%}",
+            },
+        )
     observations = _sum_by_name(snap, "repro_hotset_observations")
     if observations:
         row(

@@ -1,0 +1,151 @@
+"""SLO reporting over the serving tier's counters and histogram.
+
+The report composes the quantities an on-call dashboard would gate on:
+
+* **latency** — p50/p99/p999/max from the service's log₂-bucket
+  :class:`~repro.obs.hist.LatencyHistogram` (percentiles are bucket
+  upper bounds, so they quantize to powers-of-two microseconds);
+* **availability** — fraction of submitted requests answered (fresh or
+  degraded) within their deadline; late answers count as unavailable;
+* **degraded fraction** — stale-cache answers among all answers;
+* **error-budget burn** — ``(1 - availability) / (1 - target)``: burn
+  1.0 means the window consumed exactly its budget, above 1.0 the
+  target is violated;
+* per-cause shed counts, breaker trips, and batch shape diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import ConfigurationError
+
+__all__ = ["SLOReport", "build_report"]
+
+
+@dataclass
+class SLOReport:
+    """One scenario window's SLO numbers (JSON-ready)."""
+
+    scenario: str
+    target_availability: float
+    simulated_seconds: float
+    submitted: int
+    answered_fresh: int
+    answered_degraded: int
+    failed: int
+    deadline_missed: int
+    shed: Dict[str, int] = field(default_factory=dict)
+    availability: float = 1.0
+    degraded_fraction: float = 0.0
+    error_budget_burn: float = 0.0
+    p50_seconds: float = 0.0
+    p99_seconds: float = 0.0
+    p999_seconds: float = 0.0
+    max_seconds: float = 0.0
+    mean_seconds: float = 0.0
+    batches: int = 0
+    mean_batch_size: float = 0.0
+    sample_errors: int = 0
+    breaker_trips: int = 0
+    cache_fallbacks: int = 0
+
+    @property
+    def meets_target(self) -> bool:
+        return self.availability >= self.target_availability
+
+    def to_dict(self) -> Dict[str, object]:
+        out = {
+            name: getattr(self, name)
+            for name in self.__dataclass_fields__
+        }
+        out["meets_target"] = self.meets_target
+        return out
+
+    def render(self) -> str:
+        """Human-readable block (the ``repro serve-sim`` output)."""
+        lines = [
+            f"SLO report — scenario {self.scenario!r} "
+            f"({self.simulated_seconds:.3f}s simulated)",
+            f"  requests     {self.submitted} submitted | "
+            f"{self.answered_fresh} fresh | "
+            f"{self.answered_degraded} degraded | {self.failed} failed",
+            f"  latency      p50 {self.p50_seconds * 1e3:.3f}ms | "
+            f"p99 {self.p99_seconds * 1e3:.3f}ms | "
+            f"p999 {self.p999_seconds * 1e3:.3f}ms | "
+            f"max {self.max_seconds * 1e3:.3f}ms",
+            f"  availability {self.availability * 100:.3f}% "
+            f"(target {self.target_availability * 100:.2f}%, "
+            f"budget burn {self.error_budget_burn:.2f}x) — "
+            f"{'MEETS' if self.meets_target else 'VIOLATES'} target",
+            f"  degraded     {self.degraded_fraction * 100:.2f}% of answers "
+            f"({self.cache_fallbacks} stale-cache serves)",
+        ]
+        shed_parts = [
+            f"{cause}={count}" for cause, count in sorted(self.shed.items())
+        ]
+        lines.append(
+            f"  shedding     {' | '.join(shed_parts)} | "
+            f"deadline_missed={self.deadline_missed}"
+        )
+        lines.append(
+            f"  batching     {self.batches} batches, "
+            f"mean size {self.mean_batch_size:.2f} | "
+            f"breaker trips {self.breaker_trips} | "
+            f"sample errors {self.sample_errors}"
+        )
+        return "\n".join(lines)
+
+
+def build_report(
+    service,
+    scenario: str = "adhoc",
+    target_availability: float = 0.99,
+    simulated_seconds: Optional[float] = None,
+) -> SLOReport:
+    """Materialise an :class:`SLOReport` from a service's current state."""
+    if not 0.0 < target_availability < 1.0:
+        raise ConfigurationError(
+            f"target_availability must be in (0, 1), got "
+            f"{target_availability}"
+        )
+    stats = service.stats
+    hist = service.latency_hist
+    summary = hist.summary()
+    availability = stats.availability
+    burn = (1.0 - availability) / (1.0 - target_availability)
+    return SLOReport(
+        scenario=scenario,
+        target_availability=target_availability,
+        simulated_seconds=(
+            simulated_seconds
+            if simulated_seconds is not None
+            else service.network.now()
+        ),
+        submitted=stats.submitted,
+        answered_fresh=stats.answered_fresh,
+        answered_degraded=stats.answered_degraded,
+        failed=stats.failed,
+        deadline_missed=stats.deadline_missed,
+        shed={
+            "queue_full": stats.shed_queue_full,
+            "deadline_hopeless": stats.shed_deadline_hopeless,
+            "breaker_open": stats.shed_breaker_open,
+        },
+        availability=availability,
+        degraded_fraction=stats.degraded_fraction,
+        error_budget_burn=burn,
+        p50_seconds=hist.percentile(0.50),
+        p99_seconds=hist.percentile(0.99),
+        p999_seconds=hist.percentile(0.999),
+        max_seconds=summary["max"],
+        mean_seconds=summary["mean"],
+        batches=stats.batches,
+        mean_batch_size=(
+            stats.batched_requests / stats.batches if stats.batches else 0.0
+        ),
+        sample_errors=stats.sample_errors,
+        breaker_trips=sum(b.trips for b in service.breakers.values()),
+        cache_fallbacks=stats.cache_fallbacks,
+    )

@@ -326,6 +326,83 @@ class TestChaosSoak:
             primary.store.check_invariants()
             backup.store.check_invariants()
 
+    def test_hot_replication_and_rebalance_soak_under_faults(self, tmp_path):
+        """Mid-soak control-plane actions under fault injection: the
+        hot-set tracker drives ``replicate_hot`` and an online
+        ``plan_rebalance``/``execute_plan`` migration while transient
+        faults, latency spikes, and an explicit crash schedule run —
+        afterwards the cluster still equals the fault-free reference
+        and weighted sampling is chi-square-equivalent."""
+        from repro.datasets.stream import RequestStream
+        from repro.distributed.rebalance import execute_plan, plan_rebalance
+
+        rng = random.Random(20240808)
+        num_servers = 3
+        config = SamtreeConfig(capacity=8)
+        retry = RetryPolicy(
+            max_attempts=8, base_backoff_seconds=1e-4, seed=13
+        )
+        cluster = LocalCluster(
+            num_servers=num_servers,
+            config=config,
+            durable=True,
+            wal_dir=str(tmp_path / "wal"),
+            fault_policy=FaultPolicy(
+                transient_error_rate=0.03, latency_spike_rate=0.02
+            ),
+            fault_seed=41,
+            retry=retry,
+            hot_set_capacity=64,
+        )
+        reference = DynamicGraphStore(config)
+        # Power-law read traffic, so the tracker has a real hot head to
+        # replicate and the traffic-aware planner has skew to fix.
+        requests = RequestStream(_NSRC, exponent=1.2, seed=5)
+        sample_rng = np.random.default_rng(8)
+
+        steps = 24
+        replicated = migrated = False
+        for step in range(steps):
+            batch = _churn_batch(rng, 70)
+            reference.apply_edge_batch(batch)
+            _apply_with_recovery(cluster, batch)
+            frontier = requests.batch(24)
+            rows = _sample_with_recovery(cluster, frontier, 4, sample_rng)
+            assert len(rows) == len(frontier)
+            # Explicit crash schedule on top of the injected faults.
+            if step % 6 == 5:
+                cluster.crash_shard(step // 6 % num_servers)
+                cluster.recover_all(sync=True)
+            if step == steps // 3:
+                installed = cluster.replicate_hot(
+                    top_n=4, copies=1, min_count=1
+                )
+                replicated = bool(installed)
+            if step == 2 * steps // 3:
+                moves = plan_rebalance(cluster, tolerance=0.05, max_moves=8)
+                if moves:
+                    execute_plan(cluster, moves, verify=True)
+                    migrated = True
+
+        assert replicated, "tracker never produced a hot set to replicate"
+        assert migrated, "planner found no moves; soak exercised nothing"
+
+        cluster.recover_all(sync=True)
+        assert cluster.all_alive()
+        cluster.fault_injector.pause()
+
+        _assert_cluster_matches_reference(cluster, reference)
+        _assert_sampling_chi2_equivalent(cluster, reference)
+        for group in cluster.replica_groups:
+            for server in group:
+                if server.store is not None:
+                    server.store.check_invariants()
+        # The chaos actually happened: faults were injected and the
+        # control-plane work rode through retries.
+        stats = cluster.fault_injector.stats
+        assert stats.transient_errors > 0
+        assert retry.stats.recoveries > 0
+
     def test_soak_reports_stats(self, capsys, tmp_path):
         """The soak surfaces its fault/retry counters (acceptance asks
         for them to be *reported*, not silently swallowed)."""
