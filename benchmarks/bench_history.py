@@ -108,15 +108,15 @@ def extract_metrics(bench: str, payload: Dict) -> Dict[str, float]:
         if not metrics:
             raise KeyError("zipf_serving payload has no skews")
         return metrics
-    if bench == "slo_serving":
+    if bench in ("slo_serving", "monitoring"):
         metrics = dict(payload["metrics"])
         if not metrics:
-            raise KeyError("slo_serving payload has no metrics")
+            raise KeyError(f"{bench} payload has no metrics")
         return {name: float(value) for name, value in metrics.items()}
     raise KeyError(
         f"no metric extractor for bench {bench!r}; known: "
-        f"batched_sampling, bulk_ingest, frozen_sampling, slo_serving, "
-        f"zipf_serving"
+        f"batched_sampling, bulk_ingest, frozen_sampling, monitoring, "
+        f"slo_serving, zipf_serving"
     )
 
 
@@ -287,6 +287,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 "batched_sampling",
                 "bulk_ingest",
                 "frozen_sampling",
+                "monitoring",
                 "slo_serving",
                 "zipf_serving",
             ],

@@ -23,7 +23,17 @@ Operational entry points a deployment actually uses:
                    outage, brownout, ...) against the deadline-aware
                    online inference tier and print its SLO report
                    (DESIGN.md §15; exit code 3 when the availability
-                   target is violated).
+                   target is violated);
+* ``watch``      — the same scenarios with the continuous monitor and
+                   tracer attached: a live per-scrape view on the
+                   simulated clock (rps, windowed p99, shed rate, alert
+                   states), then the SLO report, the alert timeline,
+                   and the critical-path layer table (DESIGN.md §16);
+* ``alerts``     — run a monitored scenario and print just its alert
+                   timeline (human/json), or the post-run Prometheus
+                   exposition including the ``repro_monitor_*`` /
+                   ``repro_alerts_*`` self-series (``--format
+                   prometheus``; lints before printing).
 """
 
 from __future__ import annotations
@@ -210,6 +220,9 @@ def _cmd_obs(args: argparse.Namespace) -> int:
                 sort_keys=True,
             )
         )
+    elif args.format == "chrome":
+        # chrome://tracing / ui.perfetto.dev flamegraph JSON.
+        print(json.dumps(tracer.to_chrome_trace(), sort_keys=True))
     else:
         print(render_report(cluster, tracer=tracer, top_k=args.top))
     return 0
@@ -297,6 +310,160 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
     return 0 if report.meets_target else 3
 
 
+def _build_monitored_rig(args, trace: bool):
+    """Shared rig+scenario setup of the ``watch``/``alerts`` commands."""
+    from repro.serving.scenarios import SCENARIOS, build_serving_rig
+
+    rig = build_serving_rig(
+        seed=args.seed,
+        shedding=not args.no_shedding,
+        num_shards=args.shards,
+        num_sources=args.vertices,
+        trace=trace,
+        monitor_interval=args.interval,
+    )
+    scenario = SCENARIOS[args.scenario](rig.num_sources, seed=args.seed + 7)
+    return rig, scenario
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    """Monitored scenario run with a live per-scrape terminal view."""
+    import json
+
+    from repro.obs.critical import analyze_critical_paths
+    from repro.serving.scenarios import ScenarioRunner
+
+    rig, scenario = _build_monitored_rig(args, trace=True)
+    network = rig.cluster.network
+    t0 = network.now()
+    window = args.window
+    samples = []
+
+    def on_scrape(monitor, now) -> None:
+        store = monitor.store
+        rps = store.rate("repro_serving_submitted", window, at=now)
+        fresh = store.rate("repro_serving_answered_fresh", window, at=now)
+        shed = sum(
+            store.rate(f"repro_serving_shed_{cause}", window, at=now)
+            for cause in ("queue_full", "deadline_hopeless", "breaker_open")
+        )
+        p99 = store.quantile_over_time(
+            0.99, "repro_serving_request_seconds", window, at=now
+        )
+        states = {
+            name: alert.state
+            for name, alert in monitor.alerts.alerts.items()
+        }
+        active = [f"{n}={s}" for n, s in sorted(states.items())
+                  if s != "inactive"]
+        samples.append(
+            {
+                "t": now - t0,
+                "rps": rps,
+                "fresh_per_s": fresh,
+                "shed_per_s": shed,
+                "p99_seconds": p99,
+                "alerts": states,
+            }
+        )
+        if args.format == "human":
+            print(
+                f"[{now - t0:7.3f}s] rps {rps:7.0f} | "
+                f"fresh/s {fresh:7.0f} | shed/s {shed:6.0f} | "
+                f"p99 {p99 * 1e3:7.3f}ms | "
+                f"alerts: {' '.join(active) if active else '-'}"
+            )
+
+    runner = ScenarioRunner(rig, scenario, on_scrape=on_scrape)
+    report = runner.run(target_availability=args.target)
+    manager = rig.monitor.alerts
+    critical = analyze_critical_paths(
+        rig.tracer.traces(), root_name="serve.batch"
+    )
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "scenario": scenario.name,
+                    "slo": report.to_dict(),
+                    "samples": samples,
+                    "alerts": manager.to_dict(),
+                    "critical_path": critical.to_dict(),
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        print()
+        print(report.render())
+        print()
+        print("alert timeline:")
+        if manager.events:
+            for e in manager.timeline():
+                print(
+                    f"  t={e.t - t0:7.3f}s  {e.rule:<28} "
+                    f"{e.from_state} -> {e.to_state}  "
+                    f"(value {e.value:.2f})"
+                )
+        else:
+            print("  (no transitions)")
+        print()
+        print(critical.render())
+    return 0 if report.meets_target else 3
+
+
+def _cmd_alerts(args: argparse.Namespace) -> int:
+    """Monitored scenario run; print the alert timeline (or exposition)."""
+    import json
+
+    from repro.obs.export import lint_prometheus, to_prometheus_text
+    from repro.serving.scenarios import ScenarioRunner
+
+    rig, scenario = _build_monitored_rig(args, trace=False)
+    t0 = rig.cluster.network.now()
+    runner = ScenarioRunner(rig, scenario)
+    runner.run(target_availability=args.target)
+    manager = rig.monitor.alerts
+    if args.format == "prometheus":
+        # Post-run exposition: the workload series *plus* the monitor's
+        # own repro_monitor_* / repro_alerts_* health series.
+        text = to_prometheus_text(rig.cluster.registry)
+        lint_prometheus(text)  # never emit an invalid exposition
+        print(text, end="")
+    elif args.format == "json":
+        payload = manager.to_dict()
+        payload["scenario"] = scenario.name
+        payload["t0"] = t0
+        payload["scrapes"] = rig.monitor.scrapes
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(
+            f"alert timeline — scenario {scenario.name!r} "
+            f"({rig.monitor.scrapes} scrapes, "
+            f"{manager.evaluations} evaluations)"
+        )
+        if manager.events:
+            for e in manager.timeline():
+                labels = ",".join(
+                    f"{k}={v}" for k, v in sorted(e.labels.items())
+                )
+                print(
+                    f"  t={e.t - t0:7.3f}s  {e.rule:<28} "
+                    f"{e.from_state} -> {e.to_state}  "
+                    f"(value {e.value:.2f})  [{labels}]"
+                )
+        else:
+            print("  (no transitions)")
+        for alert in manager.alerts.values():
+            print(f"  final: {alert.rule.name} = {alert.state}")
+    if args.fail_on_firing and manager.firing():
+        for alert in manager.firing():
+            print(f"FAIL still firing: {alert.rule.name}", file=sys.stderr)
+        return 3
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -357,8 +524,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_obs.add_argument(
         "--format",
         default="human",
-        choices=["human", "prometheus", "json"],
-        help="human report, Prometheus text exposition, or JSON dump",
+        choices=["human", "prometheus", "json", "chrome"],
+        help="human report, Prometheus text exposition, JSON dump, or "
+        "chrome://tracing trace JSON",
     )
     p_obs.add_argument("--shards", type=int, default=4)
     p_obs.add_argument(
@@ -475,6 +643,77 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_serve.add_argument("--seed", type=int, default=0)
     p_serve.set_defaults(func=_cmd_serve_sim)
+
+    scenario_choices = [
+        "calm",
+        "diurnal",
+        "flash_crowd",
+        "churn_burst",
+        "regional_outage",
+        "brownout",
+    ]
+
+    p_watch = sub.add_parser(
+        "watch",
+        help="run a monitored chaos scenario with a live per-scrape "
+        "terminal view, then the SLO report, alert timeline, and "
+        "critical-path layer table",
+    )
+    p_watch.add_argument(
+        "--scenario", default="flash_crowd", choices=scenario_choices
+    )
+    p_watch.add_argument(
+        "--interval",
+        type=float,
+        default=0.05,
+        help="scrape interval in simulated seconds",
+    )
+    p_watch.add_argument(
+        "--window",
+        type=float,
+        default=0.25,
+        help="query window of the live view's rate/p99 columns",
+    )
+    p_watch.add_argument(
+        "--format", default="human", choices=["human", "json"]
+    )
+    p_watch.add_argument("--no-shedding", action="store_true")
+    p_watch.add_argument("--target", type=float, default=0.99)
+    p_watch.add_argument("--shards", type=int, default=4)
+    p_watch.add_argument("--vertices", type=int, default=400)
+    p_watch.add_argument("--seed", type=int, default=0)
+    p_watch.set_defaults(func=_cmd_watch)
+
+    p_alerts = sub.add_parser(
+        "alerts",
+        help="run a monitored chaos scenario and print its alert "
+        "timeline (or the post-run Prometheus exposition)",
+    )
+    p_alerts.add_argument(
+        "--scenario", default="flash_crowd", choices=scenario_choices
+    )
+    p_alerts.add_argument(
+        "--interval",
+        type=float,
+        default=0.02,
+        help="scrape interval in simulated seconds",
+    )
+    p_alerts.add_argument(
+        "--format",
+        default="human",
+        choices=["human", "json", "prometheus"],
+    )
+    p_alerts.add_argument(
+        "--fail-on-firing",
+        action="store_true",
+        help="exit 3 when any alert is still firing at scenario end",
+    )
+    p_alerts.add_argument("--no-shedding", action="store_true")
+    p_alerts.add_argument("--target", type=float, default=0.99)
+    p_alerts.add_argument("--shards", type=int, default=4)
+    p_alerts.add_argument("--vertices", type=int, default=400)
+    p_alerts.add_argument("--seed", type=int, default=0)
+    p_alerts.set_defaults(func=_cmd_alerts)
     return parser
 
 

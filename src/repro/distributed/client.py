@@ -273,10 +273,23 @@ class GraphClient(GraphStoreAPI):
         if self.retry is None:
             return attempt()
         if self.network is not None:
+            if self.tracer is None:
+                sleep = self.network.sleep
+            else:
+                # Backoff is the classic invisible tail-latency eater;
+                # give it its own span so critical-path analysis can
+                # attribute it instead of folding it into read_shard
+                # self-time.
+                def sleep(delay, _shard=server.shard_id):
+                    with self.tracer.span(
+                        "rpc.backoff", shard=_shard, seconds=delay
+                    ):
+                        self.network.sleep(delay)
+
             return self.retry.run(
                 attempt,
                 now=self.network.now,
-                sleep=self.network.sleep,
+                sleep=sleep,
                 deadline=self._request_deadline,
             )
         return self.retry.run(attempt, deadline=self._request_deadline)

@@ -216,6 +216,9 @@ class LocalCluster:
         #: clear alongside the server/network counters
         #: (:meth:`register_trainer`).
         self._trainers: List[object] = []
+        #: Continuous-monitoring loop over this cluster's registry
+        #: (:meth:`attach_monitor`); ``None`` until attached.
+        self.monitor = None
 
     def __len__(self) -> int:
         return len(self.servers)
@@ -490,6 +493,90 @@ class LocalCluster:
         its phase histograms and batch/seed counters (idempotent)."""
         if trainer not in self._trainers:
             self._trainers.append(trainer)
+
+    def attach_monitor(
+        self,
+        interval: float = 0.05,
+        rules=None,
+        max_points: int = 4096,
+        name_filter=None,
+    ):
+        """Attach a continuous-monitoring scrape loop to this cluster.
+
+        Creates a :class:`~repro.obs.monitor.Monitor` over the cluster's
+        registry on the **simulated** clock (wall clock without a
+        network model), with an :class:`~repro.obs.alerts.AlertManager`
+        evaluating ``rules`` after every scrape.  The monitor's own
+        health surfaces back into the registry as ``repro_monitor_*`` /
+        ``repro_alerts_*`` series — views that follow re-attachment, so
+        the exposition always describes the *current* monitor.
+
+        :meth:`reset_stats` deliberately leaves the monitor alone: the
+        time-series history is the flight recorder, and a stats reset
+        mid-run is exactly the counter-reset event the store's
+        adjustment logic exists to absorb.
+        """
+        from repro.obs.alerts import AlertManager
+        from repro.obs.monitor import Monitor
+
+        monitor = Monitor(
+            self.registry,
+            clock=self.network.now if self.network is not None else None,
+            interval=interval,
+            alerts=AlertManager(list(rules) if rules else []),
+            max_points=max_points,
+            name_filter=name_filter,
+        )
+        self.monitor = monitor
+        if not self.registry.has("repro_monitor_scrapes_total"):
+            # Views read through ``self.monitor`` so a re-attach (new
+            # interval / rules) does not leave them pointing at a stale
+            # monitor instance.
+            self.registry.register_view(
+                "repro_monitor_scrapes_total",
+                lambda c=self: float(c.monitor.store.scrapes),
+                help="Registry scrapes taken by the attached monitor",
+            )
+            self.registry.register_view(
+                "repro_monitor_resets_total",
+                lambda c=self: float(c.monitor.store.resets_total),
+                help="Counter resets detected across scraped series",
+            )
+            self.registry.register_view(
+                "repro_monitor_series",
+                lambda c=self: float(c.monitor.store.num_series),
+                help="Series currently held by the time-series store",
+                kind="gauge",
+            )
+            self.registry.register_view(
+                "repro_monitor_points",
+                lambda c=self: float(c.monitor.store.num_points),
+                help="Points across all series ring buffers",
+                kind="gauge",
+            )
+            self.registry.register_view(
+                "repro_alerts_evaluations_total",
+                lambda c=self: float(c.monitor.alerts.evaluations),
+                help="Alert-rule evaluation passes",
+            )
+            self.registry.register_view(
+                "repro_alerts_transitions_total",
+                lambda c=self: float(c.monitor.alerts.transitions),
+                help="Alert lifecycle transitions recorded",
+            )
+            self.registry.register_view(
+                "repro_alerts_pending",
+                lambda c=self: float(len(c.monitor.alerts.pending())),
+                help="Alerts currently pending",
+                kind="gauge",
+            )
+            self.registry.register_view(
+                "repro_alerts_firing",
+                lambda c=self: float(len(c.monitor.alerts.firing())),
+                help="Alerts currently firing",
+                kind="gauge",
+            )
+        return monitor
 
     def reset_stats(self) -> None:
         """Clear server, network, fault, and retry counters (plus any

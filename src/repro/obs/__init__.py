@@ -32,9 +32,38 @@ subsystem reports into:
 * :mod:`repro.obs.profile` — the opt-in layer-attributed deterministic
   profiler and the :func:`~repro.obs.profile.observe` helper that
   records histogram exemplars (trace id + args digest of the slowest
-  op per bucket).
+  op per bucket);
+* :mod:`repro.obs.monitor` — continuous monitoring: a
+  :class:`TimeSeriesStore` scraping the registry on the (simulated)
+  clock with PromQL-flavored window queries (``rate``, ``increase``,
+  ``avg/max_over_time``, ``quantile_over_time`` via windowed histogram
+  state subtraction) and counter-reset correction, driven by a
+  :class:`Monitor` scrape loop (DESIGN.md §16);
+* :mod:`repro.obs.alerts` — multi-window multi-burn-rate SLO rules and
+  threshold rules with the pending→firing→resolved lifecycle and an
+  event timeline (:class:`AlertManager`);
+* :mod:`repro.obs.critical` — critical-path analysis over tracer span
+  trees: the self-time segments that bound a request's end-to-end
+  duration, aggregated into a per-layer table
+  (:func:`analyze_critical_paths`).
 """
 
+from repro.obs.alerts import (
+    Alert,
+    AlertEvent,
+    AlertManager,
+    AlertRule,
+    BurnRateRule,
+    ThresholdRule,
+    default_serving_rules,
+)
+from repro.obs.critical import (
+    CriticalPathReport,
+    CriticalSegment,
+    analyze_critical_paths,
+    critical_path,
+    layer_for,
+)
 from repro.obs.doctor import (
     DoctorReport,
     check_thresholds,
@@ -55,6 +84,7 @@ from repro.obs.instrument import (
     register_stats,
     register_store,
 )
+from repro.obs.monitor import Monitor, TimeSeriesStore
 from repro.obs.profile import LayerProfiler, args_digest, observe
 from repro.obs.registry import (
     Counter,
@@ -66,22 +96,36 @@ from repro.obs.report import render_report
 from repro.obs.trace import Span, Tracer
 
 __all__ = [
+    "Alert",
+    "AlertEvent",
+    "AlertManager",
+    "AlertRule",
+    "BurnRateRule",
     "Counter",
+    "CriticalPathReport",
+    "CriticalSegment",
     "DoctorReport",
     "Exemplar",
     "Gauge",
     "LatencyHistogram",
     "LayerProfiler",
     "MetricsRegistry",
+    "Monitor",
     "PrometheusFormatError",
     "RegistrySnapshot",
     "Span",
+    "ThresholdRule",
+    "TimeSeriesStore",
     "Tracer",
+    "analyze_critical_paths",
     "args_digest",
     "check_thresholds",
+    "critical_path",
+    "default_serving_rules",
     "diagnose",
     "diagnose_cluster",
     "diagnose_store",
+    "layer_for",
     "lint_prometheus",
     "observe",
     "parse_fail_on",

@@ -1,0 +1,235 @@
+"""Critical-path analysis over tracer span trees ("where did p999 go").
+
+A slow request's root span bounds its end-to-end duration, but the
+*reason* it was slow lives somewhere down the tree — a retry backoff, a
+shard RPC, the model forward.  The critical path is the chain of child
+spans that actually bounds the root's duration: walking backwards from
+the root's end, descend into the latest-ending child, charge the gap
+before it to the parent's self-time, and recurse.  The resulting
+self-time segments **partition the root duration exactly** (property:
+``sum(seg.seconds) == root.duration``), so aggregating them by layer
+gives a table whose fractions are well-defined — "of this request's
+9.8ms, 62% was retry backoff, 31% shard RPC, 5% compute".
+
+Layers are derived from span names (the PR 4 naming scheme:
+``serve.*``, ``client.*``, ``rpc.*``, ``server.*``, ``samtree.*``,
+``train.*``); names outside the scheme land in ``other``, and the
+acceptance gate asserts named layers carry ≥90% of a traced slow
+request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+__all__ = [
+    "CriticalPathReport",
+    "CriticalSegment",
+    "analyze_critical_paths",
+    "critical_path",
+    "layer_for",
+]
+
+#: Ordered prefix → layer mapping; first match wins (most specific
+#: prefixes first).  ``rpc.backoff`` gets its own layer because retry
+#: backoff is the classic invisible tail-latency eater.
+_LAYER_PREFIXES = (
+    ("serve.sample", "sample"),
+    ("serve.gather", "gather"),
+    ("serve.compute", "compute"),
+    ("serve.", "serve"),
+    ("train.sample", "sample"),
+    ("train.gather", "gather"),
+    ("train.compute", "compute"),
+    ("train.", "train"),
+    ("sampler.", "sample"),
+    ("client.", "client"),
+    ("rpc.backoff", "backoff"),
+    ("rpc.", "rpc"),
+    ("server.", "server"),
+    ("samtree.", "samtree"),
+)
+
+
+def layer_for(name: str) -> str:
+    """Map a span name onto its subsystem layer (``other`` if unknown)."""
+    for prefix, layer in _LAYER_PREFIXES:
+        if name.startswith(prefix):
+            return layer
+    return "other"
+
+
+@dataclass
+class CriticalSegment:
+    """One self-time interval on the critical path."""
+
+    name: str
+    layer: str
+    start: float
+    end: float
+    status: str = "ok"
+
+    @property
+    def seconds(self) -> float:
+        return self.end - self.start
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "layer": self.layer,
+            "start": self.start,
+            "end": self.end,
+            "seconds": self.seconds,
+            "status": self.status,
+        }
+
+
+def critical_path(root) -> List[CriticalSegment]:
+    """Self-time segments bounding ``root``'s duration, oldest first.
+
+    Cursor walk from the root's end backwards: children are visited in
+    descending end order, clamped to the parent's window; the gap
+    between the cursor and a child's (clamped) end is parent self-time;
+    the child then owns its clamped window recursively.  Unfinished
+    children (``end is None``) are skipped.  Segments always sum to
+    exactly ``root.duration``.
+    """
+    segments: List[CriticalSegment] = []
+    if root.end is None:
+        return segments
+
+    def visit(span, lo: float, hi: float) -> None:
+        cursor = hi
+        children = sorted(
+            (c for c in span.children if c.end is not None),
+            key=lambda c: c.end,
+            reverse=True,
+        )
+        for child in children:
+            c_end = min(child.end, cursor)
+            c_start = max(child.start, lo)
+            if c_end <= c_start:
+                continue
+            if c_end < cursor:
+                segments.append(
+                    CriticalSegment(
+                        span.name,
+                        layer_for(span.name),
+                        c_end,
+                        cursor,
+                        span.status,
+                    )
+                )
+            visit(child, c_start, c_end)
+            cursor = c_start
+        if cursor > lo:
+            segments.append(
+                CriticalSegment(
+                    span.name, layer_for(span.name), lo, cursor, span.status
+                )
+            )
+
+    visit(root, root.start, root.end)
+    segments.sort(key=lambda s: s.start)
+    return segments
+
+
+@dataclass
+class CriticalPathReport:
+    """Self-time-by-layer aggregation over one or many traces."""
+
+    traces: int = 0
+    total_seconds: float = 0.0
+    by_layer: Dict[str, float] = field(default_factory=dict)
+    by_name: Dict[str, float] = field(default_factory=dict)
+    slowest_trace_id: Optional[int] = None
+    slowest_seconds: float = 0.0
+
+    @property
+    def named_fraction(self) -> float:
+        """Fraction of critical-path time attributed to named layers."""
+        if self.total_seconds <= 0:
+            return 1.0
+        other = self.by_layer.get("other", 0.0)
+        return max(0.0, self.total_seconds - other) / self.total_seconds
+
+    def layer_fractions(self) -> Dict[str, float]:
+        if self.total_seconds <= 0:
+            return {}
+        return {
+            layer: seconds / self.total_seconds
+            for layer, seconds in self.by_layer.items()
+        }
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "traces": self.traces,
+            "total_seconds": self.total_seconds,
+            "by_layer": dict(sorted(self.by_layer.items())),
+            "by_name": dict(sorted(self.by_name.items())),
+            "layer_fractions": {
+                k: v for k, v in sorted(self.layer_fractions().items())
+            },
+            "named_fraction": self.named_fraction,
+            "slowest_trace_id": self.slowest_trace_id,
+            "slowest_seconds": self.slowest_seconds,
+        }
+
+    def render(self) -> str:
+        """Human table: where the aggregated critical-path time went."""
+        lines = [
+            f"critical path — {self.traces} trace(s), "
+            f"{self.total_seconds * 1e3:.3f}ms total "
+            f"(slowest {self.slowest_seconds * 1e3:.3f}ms, "
+            f"trace {self.slowest_trace_id})"
+        ]
+        ranked = sorted(
+            self.by_layer.items(), key=lambda kv: kv[1], reverse=True
+        )
+        for layer, seconds in ranked:
+            frac = (
+                seconds / self.total_seconds if self.total_seconds else 0.0
+            )
+            bar = "#" * int(round(frac * 30))
+            lines.append(
+                f"  {layer:<10} {seconds * 1e3:>10.3f}ms  "
+                f"{frac * 100:>6.2f}%  {bar}"
+            )
+        lines.append(
+            f"  named layers cover {self.named_fraction * 100:.2f}% "
+            f"of the critical path"
+        )
+        return "\n".join(lines)
+
+
+def analyze_critical_paths(
+    roots: Iterable, root_name: Optional[str] = None
+) -> CriticalPathReport:
+    """Aggregate critical-path self-time across finished root spans.
+
+    ``root_name`` filters to one request family (e.g. ``serve.batch``)
+    so prewarm or training traces sharing the tracer don't dilute the
+    serving attribution.
+    """
+    report = CriticalPathReport()
+    for root in roots:
+        if root.end is None:
+            continue
+        if root_name is not None and root.name != root_name:
+            continue
+        segments = critical_path(root)
+        report.traces += 1
+        duration = root.duration
+        report.total_seconds += duration
+        if duration >= report.slowest_seconds:
+            report.slowest_seconds = duration
+            report.slowest_trace_id = root.trace_id
+        for seg in segments:
+            report.by_layer[seg.layer] = (
+                report.by_layer.get(seg.layer, 0.0) + seg.seconds
+            )
+            report.by_name[seg.name] = (
+                report.by_name.get(seg.name, 0.0) + seg.seconds
+            )
+    return report

@@ -236,6 +236,31 @@ class LatencyHistogram:
         """Immutable ``(buckets, count, sum, max)`` snapshot (diff unit)."""
         return (tuple(self._buckets), self._count, self._sum, self._max)
 
+    @classmethod
+    def from_state(
+        cls, state: Tuple[Tuple[int, ...], int, float, float]
+    ) -> "LatencyHistogram":
+        """Rebuild a histogram from a :meth:`state` tuple.
+
+        The monitor's ``quantile_over_time`` subtracts two scrape states
+        and rehydrates the delta into a real histogram so the existing
+        :meth:`percentile` / :meth:`merge` machinery answers windowed
+        quantile queries.  Components are clamped at zero so a slightly
+        inconsistent delta (e.g. across a reset) degrades to an empty
+        histogram instead of corrupting quantile math.
+        """
+        buckets, count, total, mx = state
+        if len(buckets) != NUM_BUCKETS:
+            raise ConfigurationError(
+                f"state has {len(buckets)} buckets, expected {NUM_BUCKETS}"
+            )
+        hist = cls()
+        hist._buckets = [max(0, int(b)) for b in buckets]
+        hist._count = max(0, int(count))
+        hist._sum = max(0.0, float(total))
+        hist._max = max(0.0, float(mx))
+        return hist
+
     def reset(self) -> None:
         self._buckets = [0] * NUM_BUCKETS
         self._count = 0

@@ -131,7 +131,7 @@ class Sample:
 class _Entry:
     """Registry slot: an owned metric or a view callback."""
 
-    __slots__ = ("name", "kind", "help", "labels", "obj", "read")
+    __slots__ = ("name", "kind", "help", "labels", "obj", "read", "key")
 
     def __init__(self, name, kind, help_text, labels, obj, read) -> None:
         self.name = name
@@ -140,6 +140,10 @@ class _Entry:
         self.labels = labels
         self.obj = obj  # owned metric / histogram, or None for views
         self.read = read  # () -> float for scalars, unused for histograms
+        # Canonical string identity, computed once: snapshot() runs on
+        # the monitor's scrape cadence, so per-collect key building is
+        # measurable registry-width work (bench_monitoring gates it).
+        self.key = metric_key(name, labels)
 
 
 class RegistrySnapshot:
@@ -147,41 +151,58 @@ class RegistrySnapshot:
 
     ``scalars`` maps canonical keys to float values; ``histograms`` maps
     keys to ``(buckets, count, sum, max)`` states.  :meth:`diff`
-    subtracts an earlier snapshot — counter semantics for scalars
-    (deltas clamp at observed values; gauges diff too, documented as
-    deltas) and bucket-wise subtraction for histograms.
+    subtracts an earlier snapshot — counter deltas clamp at zero (a
+    ``reset_stats`` between snapshots would otherwise yield negative
+    "work"), gauges keep signed deltas, and histograms subtract
+    bucket-wise with the same clamp.  ``resets`` on the returned
+    snapshot counts how many series were clamped, so callers (the
+    bench-overhead gate, ``rate()``) can tell a quiet window from a
+    reset one.
     """
 
-    __slots__ = ("scalars", "histograms", "kinds")
+    __slots__ = ("scalars", "histograms", "kinds", "resets")
 
     def __init__(
         self,
         scalars: Dict[str, float],
         histograms: Dict[str, Tuple[Tuple[int, ...], int, float, float]],
         kinds: Dict[str, str],
+        resets: int = 0,
     ) -> None:
         self.scalars = scalars
         self.histograms = histograms
         self.kinds = kinds
+        #: Series whose counter went *backwards* across a :meth:`diff`
+        #: (0 on snapshots that are not diffs).
+        self.resets = resets
 
     def diff(self, before: "RegistrySnapshot") -> "RegistrySnapshot":
         """This snapshot minus ``before`` (a workload's own counts)."""
-        scalars = {
-            key: value - before.scalars.get(key, 0.0)
-            for key, value in self.scalars.items()
-        }
+        scalars: Dict[str, float] = {}
+        resets = 0
+        for key, value in self.scalars.items():
+            delta = value - before.scalars.get(key, 0.0)
+            if delta < 0 and self.kinds.get(key) == "counter":
+                # Counter reset between the snapshots: the pre-reset
+                # tail is unknowable, so clamp instead of going
+                # negative and flag it through ``resets``.
+                delta = 0.0
+                resets += 1
+            scalars[key] = delta
         hists = {}
         for key, (buckets, count, total, mx) in self.histograms.items():
             b0, c0, t0, _ = before.histograms.get(
                 key, ((0,) * len(buckets), 0, 0.0, 0.0)
             )
+            if count < c0:
+                resets += 1
             hists[key] = (
-                tuple(b - a for b, a in zip(buckets, b0)),
-                count - c0,
-                total - t0,
+                tuple(max(0, b - a) for b, a in zip(buckets, b0)),
+                max(0, count - c0),
+                max(0.0, total - t0),
                 mx,  # max is not subtractable; keep the later max
             )
-        return RegistrySnapshot(scalars, hists, dict(self.kinds))
+        return RegistrySnapshot(scalars, hists, dict(self.kinds), resets)
 
     def get(self, key: str, default: float = 0.0) -> float:
         return self.scalars.get(key, default)
@@ -189,6 +210,7 @@ class RegistrySnapshot:
     def to_dict(self) -> Dict[str, object]:
         """JSON-ready payload (benchmarks embed this in ``BENCH_*.json``)."""
         return {
+            "resets": self.resets,
             "scalars": dict(sorted(self.scalars.items())),
             "histograms": {
                 key: {
@@ -217,6 +239,9 @@ class MetricsRegistry:
         self._help: Dict[str, str] = {}
         self._kind: Dict[str, str] = {}
         self._lock = threading.Lock()
+        # Sorted-entry cache: registration is rare, collection runs on
+        # the monitor's scrape cadence.  Invalidated on every new slot.
+        self._sorted: Optional[List[_Entry]] = None
 
     # ------------------------------------------------------------------
     # registration internals
@@ -252,6 +277,7 @@ class MetricsRegistry:
             obj = factory()
             entry = _Entry(name, kind, help_text, items, obj, read)
             self._entries[key] = entry
+            self._sorted = None
             self._kind[name] = kind
             if help_text or name not in self._help:
                 self._help[name] = help_text
@@ -309,9 +335,13 @@ class MetricsRegistry:
     # ------------------------------------------------------------------
     def _entries_sorted(self) -> List[_Entry]:
         with self._lock:
-            entries = list(self._entries.values())
-        entries.sort(key=lambda e: (e.name, e.labels))
-        return entries
+            if self._sorted is None:
+                entries = sorted(
+                    self._entries.values(),
+                    key=lambda e: (e.name, e.labels),
+                )
+                self._sorted = entries
+            return self._sorted
 
     def collect(self) -> List[Sample]:
         """Materialise every scalar (owned values + view reads)."""
@@ -357,18 +387,33 @@ class MetricsRegistry:
     # ------------------------------------------------------------------
     # snapshot / diff / merge
     # ------------------------------------------------------------------
-    def snapshot(self) -> RegistrySnapshot:
-        """Materialise everything into an immutable snapshot."""
+    def snapshot(
+        self, prefixes: Optional[Tuple[str, ...]] = None
+    ) -> RegistrySnapshot:
+        """Materialise everything into an immutable snapshot.
+
+        Iterates the slots directly (no intermediate :class:`Sample`
+        list) — this runs once per monitor scrape, where allocation per
+        series dominates on a wide registry.  ``prefixes`` restricts the
+        snapshot to series whose canonical key starts with one of them
+        (the :class:`~repro.obs.monitor.TimeSeriesStore` pushes its
+        ``name_filter`` down here so unwanted view callbacks are never
+        invoked).
+        """
         scalars: Dict[str, float] = {}
         kinds: Dict[str, str] = {}
-        for s in self.collect():
-            scalars[s.key] = s.value
-            kinds[s.key] = s.kind
         hists = {}
-        for name, _, labels, hist in self.collect_histograms():
-            key = metric_key(name, labels)
-            hists[key] = hist.state()
-            kinds[key] = "histogram"
+        for e in self._entries_sorted():
+            key = e.key
+            if prefixes is not None and not key.startswith(prefixes):
+                continue
+            if e.kind == "histogram":
+                hists[key] = e.obj.state()
+                kinds[key] = "histogram"
+                continue
+            value = e.read() if e.read is not None else e.obj.value
+            scalars[key] = float(value)
+            kinds[key] = e.kind
         return RegistrySnapshot(scalars, hists, kinds)
 
     def merge_from(self, other: "MetricsRegistry") -> None:

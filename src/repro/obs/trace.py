@@ -318,6 +318,50 @@ class Tracer:
         """Finished root spans, oldest first."""
         return list(self.finished)
 
+    def to_chrome_trace(self, spans: Optional[List[Span]] = None) -> Dict:
+        """Export finished span trees as chrome://tracing JSON.
+
+        Each finished span becomes a complete (``"ph": "X"``) event with
+        microsecond timestamps; the trace id doubles as the thread id so
+        every request renders as its own lane in the flamegraph UI
+        (``chrome://tracing`` or https://ui.perfetto.dev).  Tags land in
+        ``args`` (non-JSON-native values are ``repr``'d), alongside the
+        span/parent ids so the tree is reconstructible.  ``spans``
+        defaults to every archived root; pass e.g. ``tracer.top_slow(5)``
+        to export just the slow ring.
+        """
+        events: List[Dict] = []
+        roots = self.traces() if spans is None else spans
+        for root in roots:
+            for span in root.walk():
+                if span.end is None:
+                    continue
+                args: Dict[str, object] = {
+                    "span_id": span.span_id,
+                    "parent_id": span.parent_id,
+                    "status": span.status,
+                }
+                for key, value in span.tags.items():
+                    if isinstance(value, (bool, int, float, str)) or (
+                        value is None
+                    ):
+                        args[key] = value
+                    else:
+                        args[key] = repr(value)
+                events.append(
+                    {
+                        "name": span.name,
+                        "cat": "repro",
+                        "ph": "X",
+                        "ts": span.start * 1e6,
+                        "dur": span.duration * 1e6,
+                        "pid": 0,
+                        "tid": span.trace_id,
+                        "args": args,
+                    }
+                )
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
     def reset(self) -> None:
         """Drop archived traces (open spans are unaffected)."""
         self.finished.clear()

@@ -41,6 +41,9 @@ from repro.distributed.rpc import NetworkModel
 from repro.errors import ConfigurationError
 from repro.gnn.inference import embed_vertices
 from repro.gnn.models import GraphSAGE
+from repro.obs.alerts import default_serving_rules
+from repro.obs.monitor import Monitor
+from repro.obs.trace import Tracer
 from repro.serving.service import InferenceService
 from repro.serving.slo import SLOReport, build_report
 from repro.storage.attributes import AttributeStore
@@ -274,6 +277,11 @@ class ServingRig:
     features: AttributeStore
     encoder: GraphSAGE
     num_sources: int
+    #: Simulated-clock tracer (``trace=True``); serving batches open
+    #: ``serve.batch`` trees the critical-path report consumes.
+    tracer: Optional[Tracer] = None
+    #: Continuous-monitoring loop (``monitor_interval`` set).
+    monitor: Optional[Monitor] = None
 
 
 def build_serving_rig(
@@ -297,6 +305,11 @@ def build_serving_rig(
     breaker_threshold: int = 3,
     breaker_reset: float = 0.25,
     prewarm: bool = True,
+    trace: bool = False,
+    trace_sample_rate: float = 1.0,
+    slow_trace_threshold: float = 8e-3,
+    monitor_interval: Optional[float] = None,
+    alert_rules: Optional[Sequence] = None,
 ) -> ServingRig:
     """One cluster + graph + features + encoder + service, pre-warmed.
 
@@ -306,14 +319,35 @@ def build_serving_rig(
     vertex's embedding is computed once (through the degraded-row-aware
     :func:`embed_vertices`) and stamped into the service's degraded
     cache — the "last-good" state online serving falls back to.
+
+    ``trace=True`` attaches a simulated-clock :class:`Tracer` (serving
+    batches produce ``serve.batch`` span trees; roots slower than
+    ``slow_trace_threshold`` also land in the slow ring).  A
+    ``monitor_interval`` attaches a continuous
+    :class:`~repro.obs.monitor.Monitor` scraping the registry every
+    that-many simulated seconds, with ``alert_rules`` (default: the
+    serving tier's :func:`~repro.obs.alerts.default_serving_rules`)
+    evaluated after each scrape.
     """
     network = NetworkModel()
+    tracer = (
+        Tracer(
+            clock=network.now,
+            sample_rate=trace_sample_rate,
+            seed=seed,
+            max_traces=512,
+            slow_threshold_seconds=slow_trace_threshold,
+        )
+        if trace
+        else None
+    )
     cluster = LocalCluster(
         num_servers=num_shards,
         network=network,
         fault_policy=FaultPolicy(),  # zero-rate: the brownout knob's host
         fault_seed=seed,
         degraded_reads=True,
+        tracer=tracer,
     )
     rng = np.random.default_rng(seed)
     srcs = np.repeat(np.arange(num_sources, dtype=np.int64), degree)
@@ -365,7 +399,41 @@ def build_serving_rig(
         for i, vertex in enumerate(catalog):
             if i not in missing:
                 service.cache.put(vertex, matrix[i], stamped)
-    return ServingRig(cluster, service, features, encoder, num_sources)
+    if tracer is not None:
+        # Prewarm traffic produced client.* traces; drop them so the
+        # rings start the scenario holding serving trees only.
+        tracer.reset()
+    monitor = None
+    if monitor_interval is not None:
+        rules = (
+            list(alert_rules)
+            if alert_rules is not None
+            else default_serving_rules()
+        )
+        # Keep-list scrape (standard practice on wide registries): the
+        # serving rules, the watch CLI, and the monitor's self-metrics
+        # only consume these prefixes, and the pushed-down filter means
+        # the other ~160 cluster series never even run their view
+        # callbacks.  ``cluster.attach_monitor`` directly scrapes
+        # everything if a broader store is wanted.
+        monitor = cluster.attach_monitor(
+            interval=monitor_interval,
+            rules=rules,
+            name_filter=(
+                "repro_serving_",
+                "repro_monitor_",
+                "repro_alerts_",
+            ),
+        )
+    return ServingRig(
+        cluster,
+        service,
+        features,
+        encoder,
+        num_sources,
+        tracer=tracer,
+        monitor=monitor,
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -377,15 +445,26 @@ class ScenarioRunner:
     Between events the runner advances the clock to each pending batch
     window so micro-batches flush exactly when they would in a live
     process; event times are relative to run start, so a rig can run
-    several scenarios back to back.
+    several scenarios back to back.  A rig with a monitor attached also
+    stops at every due scrape instant, so the alert timeline advances
+    *during* the scenario exactly as a live scrape loop would —
+    ``on_scrape(monitor, now)`` (if given) is called after each scrape,
+    which is how ``repro watch`` renders its live view.
     """
 
-    def __init__(self, rig: ServingRig, scenario: Scenario) -> None:
+    def __init__(
+        self,
+        rig: ServingRig,
+        scenario: Scenario,
+        on_scrape=None,
+    ) -> None:
         self.rig = rig
         self.scenario = scenario
         self.cluster = rig.cluster
         self.service = rig.service
         self.network = rig.cluster.network
+        self.monitor = rig.monitor
+        self.on_scrape = on_scrape
         self._t0 = 0.0
 
     def _sleep_to(self, t_abs: float) -> None:
@@ -394,13 +473,25 @@ class ScenarioRunner:
             self.network.sleep(delta)
 
     def _advance_to(self, t_abs: float) -> None:
-        """Run pending batch flushes up to ``t_abs``, then move there."""
+        """Run pending flushes and scrapes up to ``t_abs``, then move
+        there — the clock stops at every batch window *and* every due
+        monitor scrape, whichever comes first."""
         while True:
+            stops = []
             flush_at = self.service.next_flush_at()
-            if flush_at is None or flush_at > t_abs:
+            if flush_at is not None and flush_at <= t_abs:
+                stops.append(flush_at)
+            if self.monitor is not None:
+                due = self.monitor.next_due()
+                if due <= t_abs:
+                    stops.append(due)
+            if not stops:
                 break
-            self._sleep_to(flush_at)
+            self._sleep_to(min(stops))
             self.service.poll()
+            if self.monitor is not None and self.monitor.poll():
+                if self.on_scrape is not None:
+                    self.on_scrape(self.monitor, self.network.now())
         self._sleep_to(t_abs)
 
     def _dispatch(self, kind: str, payload, t_abs: float) -> None:
@@ -444,6 +535,13 @@ class ScenarioRunner:
             self._dispatch(kind, payload, self._t0 + t_rel)
         self._advance_to(self._t0 + self.scenario.duration)
         self.service.flush()
+        if self.monitor is not None:
+            # Closing scrape: the timeline's last evaluation sees the
+            # post-drain counters (a spike that cleared resolves here at
+            # the latest, not at the next run).
+            self.monitor.scrape()
+            if self.on_scrape is not None:
+                self.on_scrape(self.monitor, self.network.now())
         return build_report(
             self.service,
             scenario=self.scenario.name,

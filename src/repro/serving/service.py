@@ -40,6 +40,7 @@ from repro.gnn.models import SampledGNN
 from repro.gnn.ops import l2_normalize
 from repro.gnn.samplers import sample_blocks_partial
 from repro.obs.hist import LatencyHistogram
+from repro.obs.trace import NULL_SPAN
 from repro.serving.admission import (
     SHED_BREAKER_OPEN,
     SHED_DEADLINE_HOPELESS,
@@ -249,6 +250,10 @@ class InferenceService:
         self.cluster = cluster
         self.client = cluster.client
         self.network = network
+        # Batch stages trace into the cluster's tracer (when attached),
+        # nesting over the client's rpc.* spans — the tree critical-path
+        # analysis attributes p999 time with.
+        self.tracer = getattr(cluster, "tracer", None)
         # Shard outages must surface as per-seed markers, not exceptions.
         self.client.degraded_reads = True
         self.features = features
@@ -306,6 +311,12 @@ class InferenceService:
                 self.latency_hist,
                 help="End-to-end request latency (simulated seconds)",
             )
+
+    def _tspan(self, name: str, **tags):
+        """A serving-stage span (no-op without a cluster tracer)."""
+        if self.tracer is None:
+            return NULL_SPAN
+        return self.tracer.span(name, **tags)
 
     # ------------------------------------------------------------------
     # request intake
@@ -460,45 +471,59 @@ class InferenceService:
         scope = min(deadlines) if deadlines else None
 
         flush_started = now
-        try:
-            with self.client.deadline_scope(scope):
-                blocks, served_idx, unavailable_idx = sample_blocks_partial(
-                    self.client, seeds, self.fanouts, self.rng, self.etype
-                )
-        except Exception as exc:  # deadline blown mid-batch, hard faults
-            self.stats.sample_errors += 1
-            completed = self.network.now()
-            for request in runnable:
-                self._resolve_from_cache(
-                    request, None, completed, error=repr(exc)
-                )
-            return
+        batch_span = self._tspan(
+            "serve.batch", requests=len(runnable), seeds=len(seeds)
+        )
+        with batch_span:
+            try:
+                with self._tspan("serve.sample", seeds=len(seeds)):
+                    with self.client.deadline_scope(scope):
+                        blocks, served_idx, unavailable_idx = (
+                            sample_blocks_partial(
+                                self.client,
+                                seeds,
+                                self.fanouts,
+                                self.rng,
+                                self.etype,
+                            )
+                        )
+            except Exception as exc:  # deadline blown mid-batch, hard faults
+                self.stats.sample_errors += 1
+                batch_span.set_tag("error", type(exc).__name__)
+                completed = self.network.now()
+                for request in runnable:
+                    self._resolve_from_cache(
+                        request, None, completed, error=repr(exc)
+                    )
+                return
 
-        embeddings: Dict[int, np.ndarray] = {}
-        if blocks is not None:
-            feats = [
-                self.features.gather(self.feat_name, level.tolist())
-                for level in blocks.levels
-            ]
-            out = self.encoder.forward(feats, blocks.fanouts)
-            for layer in self.encoder.layers:
-                layer._cache.clear()
-            out = l2_normalize(out.astype(np.float32))
-            cost = self.compute_seconds_per_seed * len(served_idx)
-            self.stats.compute_seconds += cost
-            self.network.sleep(cost)
-            completed = self.network.now()
-            for row, i in enumerate(served_idx):
-                embeddings[i] = out[row]
-                self.cache.put(seeds[i], out[row], completed)
-            # Admission estimate: EWMA of marginal per-request batch cost
-            # (sample + compute, amortised over the batch).
-            per_request = (completed - flush_started) / len(runnable)
-            self._est_request_seconds = (
-                0.8 * self._est_request_seconds + 0.2 * per_request
-            )
-        else:
-            completed = self.network.now()
+            embeddings: Dict[int, np.ndarray] = {}
+            if blocks is not None:
+                with self._tspan("serve.gather", levels=len(blocks.levels)):
+                    feats = [
+                        self.features.gather(self.feat_name, level.tolist())
+                        for level in blocks.levels
+                    ]
+                with self._tspan("serve.compute", seeds=len(served_idx)):
+                    out = self.encoder.forward(feats, blocks.fanouts)
+                    for layer in self.encoder.layers:
+                        layer._cache.clear()
+                    out = l2_normalize(out.astype(np.float32))
+                    cost = self.compute_seconds_per_seed * len(served_idx)
+                    self.stats.compute_seconds += cost
+                    self.network.sleep(cost)
+                completed = self.network.now()
+                for row, i in enumerate(served_idx):
+                    embeddings[i] = out[row]
+                    self.cache.put(seeds[i], out[row], completed)
+                # Admission estimate: EWMA of marginal per-request batch
+                # cost (sample + compute, amortised over the batch).
+                per_request = (completed - flush_started) / len(runnable)
+                self._est_request_seconds = (
+                    0.8 * self._est_request_seconds + 0.2 * per_request
+                )
+            else:
+                completed = self.network.now()
 
         # Breaker feedback: UNAVAILABLE seeds fail their shard, served
         # seeds heal it.

@@ -40,6 +40,7 @@ from repro.gnn.training import PHASES, Trainer
 from repro.obs import (
     MetricsRegistry,
     PrometheusFormatError,
+    TimeSeriesStore,
     Tracer,
     lint_prometheus,
     to_json,
@@ -166,6 +167,78 @@ class TestHistogramMerge:
         a.reset()
         assert a.count == 0 and a.state()[0] == (0,) * NUM_BUCKETS
 
+    def test_from_state_roundtrip(self):
+        h = LatencyHistogram()
+        for v in (1e-6, 3e-4, 2e-2, 7.0):
+            h.record(v)
+        clone = LatencyHistogram.from_state(h.state())
+        assert clone.state() == h.state()
+        assert clone.percentile(0.99) == h.percentile(0.99)
+
+
+# ---------------------------------------------------------------------------
+# Windowed quantiles: the monitor's state-subtraction must agree with a
+# histogram fed the same observations (PR 9 satellite)
+# ---------------------------------------------------------------------------
+class TestWindowedQuantileProperty:
+    @settings(max_examples=150, deadline=None)
+    @given(
+        st.lists(
+            st.lists(
+                st.floats(
+                    min_value=0.0,
+                    max_value=1e3,
+                    allow_nan=False,
+                    allow_infinity=False,
+                ),
+                min_size=0,
+                max_size=6,
+            ),
+            min_size=1,
+            max_size=4,
+        ),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_window_delta_equals_direct_histogram(self, batches, q):
+        """``quantile_over_time`` over a window spanning N scrape
+        intervals answers exactly what a single histogram fed all the
+        window's observations would — and the merge of the per-interval
+        window deltas is that same histogram."""
+        reg = MetricsRegistry()
+        h = reg.histogram("repro_lat_seconds")
+        now = [0.0]
+        store = TimeSeriesStore(reg, clock=lambda: now[0])
+        store.scrape()  # empty baseline
+        for batch in batches:
+            for v in batch:
+                h.record(v)
+            now[0] += 1.0
+            store.scrape()
+
+        direct = LatencyHistogram()
+        for v in (x for batch in batches for x in batch):
+            direct.record(v)
+
+        whole = store.window_histogram(
+            "repro_lat_seconds", len(batches) + 0.5
+        )
+        assert whole.state() == direct.state()
+        assert store.quantile_over_time(
+            q, "repro_lat_seconds", len(batches) + 0.5
+        ) == direct.percentile(q)
+
+        # Per-interval deltas merge back into the whole window.
+        merged = LatencyHistogram()
+        for i in range(len(batches)):
+            merged.merge(
+                store.window_histogram(
+                    "repro_lat_seconds", 1.0, at=float(i + 1)
+                )
+            )
+        assert merged.bucket_counts() == direct.bucket_counts()
+        assert merged.count == direct.count
+        assert merged.percentile(q) == direct.percentile(q)
+
 
 # ---------------------------------------------------------------------------
 # MetricsRegistry: owned metrics, views, snapshot diff (satellite c)
@@ -253,6 +326,56 @@ class TestRegistry:
         snap = a.snapshot()
         assert snap.get("repro_m") == 7.0
         assert snap.histograms["repro_h"][1] == 1
+
+    def test_diff_clamps_counter_resets(self):
+        """A counter that went backwards between snapshots (crash,
+        ``reset_stats``) yields a zero delta — never negative work —
+        and the snapshot reports how many series were clamped."""
+        reg = MetricsRegistry()
+        c = reg.counter("repro_work_total")
+        g = reg.gauge("repro_depth")
+        h = reg.histogram("repro_lat_seconds")
+        c.inc(10)
+        g.set(5.0)
+        h.record(1e-3)
+        h.record(1e-3)
+        before = reg.snapshot()
+        reg.reset_owned()  # the reset event
+        c.inc(3)
+        g.set(2.0)
+        h.record(2e-3)
+        delta = reg.snapshot().diff(before)
+        # Counter 13 -> 3: clamped to 0, not -7.
+        assert delta.scalars["repro_work_total"] == 0.0
+        # Gauges keep signed deltas (5 -> 2 is a real -3).
+        assert delta.scalars["repro_depth"] == -3.0
+        # Histogram count 2 -> 1: bucket-wise clamp, reset counted.
+        assert delta.histograms["repro_lat_seconds"][1] == 0
+        assert delta.resets == 2
+        assert delta.to_dict()["resets"] == 2
+
+    def test_diff_without_reset_reports_zero_resets(self):
+        reg = MetricsRegistry()
+        c = reg.counter("repro_work_total")
+        c.inc(4)
+        before = reg.snapshot()
+        c.inc(6)
+        delta = reg.snapshot().diff(before)
+        assert delta.scalars["repro_work_total"] == 6.0
+        assert delta.resets == 0
+
+    def test_snapshot_prefix_filter(self):
+        """The pushed-down keep-list (the monitor's scrape path) must
+        not invoke the view callbacks of filtered-out series."""
+        reg = MetricsRegistry()
+        reg.counter("repro_keep_total").inc(1)
+        calls = []
+        reg.register_view(
+            "repro_drop_total", lambda: calls.append(1) or 0.0
+        )
+        snap = reg.snapshot(prefixes=("repro_keep_",))
+        assert set(snap.scalars) == {"repro_keep_total"}
+        assert calls == []  # filtered view never ran
 
 
 # ---------------------------------------------------------------------------
@@ -442,6 +565,57 @@ class TestTracer:
             Tracer(max_traces=0)
         with pytest.raises(ConfigurationError):
             Tracer(slow_threshold_seconds=-1)
+
+    def test_chrome_trace_export(self):
+        now = [0.0]
+        tracer = Tracer(clock=lambda: now[0])
+        with tracer.span("serve.batch", shard=3, policy=object()) as root:
+            now[0] += 0.25
+            with tracer.span("rpc.read_shard"):
+                now[0] += 0.5
+            now[0] += 0.25
+        payload = tracer.to_chrome_trace()
+        assert payload["displayTimeUnit"] == "ms"
+        events = payload["traceEvents"]
+        assert [e["name"] for e in events] == ["serve.batch", "rpc.read_shard"]
+        for e in events:
+            assert e["ph"] == "X"  # complete events: one per finished span
+            assert e["cat"] == "repro"
+            assert e["pid"] == 0
+        root_ev, child_ev = events
+        # chrome://tracing wants microseconds
+        assert root_ev["ts"] == pytest.approx(0.0)
+        assert root_ev["dur"] == pytest.approx(1.0e6)
+        assert child_ev["ts"] == pytest.approx(0.25e6)
+        assert child_ev["dur"] == pytest.approx(0.5e6)
+        # one lane per trace: tid is the shared trace id
+        assert root_ev["tid"] == child_ev["tid"] == root.trace_id
+        assert root_ev["args"]["span_id"] == root.span_id
+        assert root_ev["args"]["parent_id"] is None
+        assert child_ev["args"]["parent_id"] == root.span_id
+        assert root_ev["args"]["status"] == "ok"
+        # JSON-native tags pass through; anything else falls back to repr
+        assert root_ev["args"]["shard"] == 3
+        assert isinstance(root_ev["args"]["policy"], str)
+        json.dumps(payload)  # the whole export must serialise
+
+    def test_chrome_trace_skips_unfinished_spans(self):
+        now = [0.0]
+        tracer = Tracer(clock=lambda: now[0])
+        with tracer.span("root"):
+            tracer.span("stuck")  # opened, never exited
+            now[0] += 1.0
+        events = tracer.to_chrome_trace()["traceEvents"]
+        assert [e["name"] for e in events] == ["root"]
+
+    def test_chrome_trace_explicit_span_subset(self):
+        tracer = Tracer()
+        for name in ("a", "b"):
+            with tracer.span(name):
+                pass
+        subset = [s for s in tracer.traces() if s.name == "b"]
+        events = tracer.to_chrome_trace(spans=subset)["traceEvents"]
+        assert [e["name"] for e in events] == ["b"]
 
 
 # ---------------------------------------------------------------------------
