@@ -108,15 +108,15 @@ def extract_metrics(bench: str, payload: Dict) -> Dict[str, float]:
         if not metrics:
             raise KeyError("zipf_serving payload has no skews")
         return metrics
-    if bench in ("slo_serving", "monitoring"):
+    if bench in ("slo_serving", "monitoring", "flight_recorder"):
         metrics = dict(payload["metrics"])
         if not metrics:
             raise KeyError(f"{bench} payload has no metrics")
         return {name: float(value) for name, value in metrics.items()}
     raise KeyError(
         f"no metric extractor for bench {bench!r}; known: "
-        f"batched_sampling, bulk_ingest, frozen_sampling, monitoring, "
-        f"slo_serving, zipf_serving"
+        f"batched_sampling, bulk_ingest, flight_recorder, "
+        f"frozen_sampling, monitoring, slo_serving, zipf_serving"
     )
 
 
@@ -286,6 +286,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             choices=[
                 "batched_sampling",
                 "bulk_ingest",
+                "flight_recorder",
                 "frozen_sampling",
                 "monitoring",
                 "slo_serving",

@@ -33,7 +33,15 @@ Operational entry points a deployment actually uses:
                    timeline (human/json), or the post-run Prometheus
                    exposition including the ``repro_monitor_*`` /
                    ``repro_alerts_*`` self-series (``--format
-                   prometheus``; lints before printing).
+                   prometheus``; lints before printing);
+* ``incidents``  — list/show/export the incident bundles that
+                   ``watch``/``alerts --incidents-dir`` captured when
+                   alerts fired (flight-recorder rings, metric window
+                   diffs, traces, scenario spec + seeds; DESIGN.md §17);
+* ``replay``     — rebuild the rig from a bundle's spec, re-run the
+                   captured window on the simulated clock, and verify
+                   the same alert fires at the same instant with a
+                   matching event stream (exit 3 on divergence).
 """
 
 from __future__ import annotations
@@ -311,19 +319,39 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
 
 
 def _build_monitored_rig(args, trace: bool):
-    """Shared rig+scenario setup of the ``watch``/``alerts`` commands."""
-    from repro.serving.scenarios import SCENARIOS, build_serving_rig
+    """Shared rig+scenario setup of the ``watch``/``alerts`` commands.
 
-    rig = build_serving_rig(
-        seed=args.seed,
-        shedding=not args.no_shedding,
-        num_shards=args.shards,
-        num_sources=args.vertices,
-        trace=trace,
-        monitor_interval=args.interval,
+    Goes through :func:`repro.obs.replay.make_spec`, so every monitored
+    CLI run is described by a replayable spec — the flight recorder is
+    always attached, and an :class:`IncidentManager` freezes a bundle on
+    every firing alert (written to ``--incidents-dir`` when given).
+    """
+    from repro.obs.incident import IncidentManager
+    from repro.obs.replay import (
+        build_rig_from_spec,
+        make_spec,
+        scenario_from_spec,
     )
-    scenario = SCENARIOS[args.scenario](rig.num_sources, seed=args.seed + 7)
-    return rig, scenario
+
+    spec = make_spec(
+        args.scenario,
+        seed=args.seed,
+        rig_kwargs={
+            "shedding": not args.no_shedding,
+            "num_shards": args.shards,
+            "num_sources": args.vertices,
+            "trace": trace,
+            "monitor_interval": args.interval,
+        },
+    )
+    rig = build_rig_from_spec(spec)
+    incidents = IncidentManager(
+        rig.cluster, out_dir=getattr(args, "incidents_dir", None)
+    )
+    incidents.watch(rig.monitor.alerts)
+    incidents.mark_start(spec)
+    scenario = scenario_from_spec(spec, rig.num_sources)
+    return rig, scenario, incidents
 
 
 def _cmd_watch(args: argparse.Namespace) -> int:
@@ -333,7 +361,7 @@ def _cmd_watch(args: argparse.Namespace) -> int:
     from repro.obs.critical import analyze_critical_paths
     from repro.serving.scenarios import ScenarioRunner
 
-    rig, scenario = _build_monitored_rig(args, trace=True)
+    rig, scenario, incidents = _build_monitored_rig(args, trace=True)
     network = rig.cluster.network
     t0 = network.now()
     window = args.window
@@ -389,6 +417,10 @@ def _cmd_watch(args: argparse.Namespace) -> int:
                     "samples": samples,
                     "alerts": manager.to_dict(),
                     "critical_path": critical.to_dict(),
+                    "incidents": [
+                        dict(b["meta"]) for b in incidents.incidents
+                    ],
+                    "incidents_suppressed": incidents.suppressed,
                 },
                 indent=2,
                 sort_keys=True,
@@ -408,6 +440,19 @@ def _cmd_watch(args: argparse.Namespace) -> int:
                 )
         else:
             print("  (no transitions)")
+        if incidents.incidents:
+            print()
+            print("incident bundles:")
+            for b in incidents.incidents:
+                m = b["meta"]
+                where = (
+                    f" -> {args.incidents_dir}/{m['id']}"
+                    if args.incidents_dir
+                    else ""
+                )
+                print(
+                    f"  t={m['t_rel']:7.3f}s  {m['id']}{where}"
+                )
         print()
         print(critical.render())
     return 0 if report.meets_target else 3
@@ -420,7 +465,7 @@ def _cmd_alerts(args: argparse.Namespace) -> int:
     from repro.obs.export import lint_prometheus, to_prometheus_text
     from repro.serving.scenarios import ScenarioRunner
 
-    rig, scenario = _build_monitored_rig(args, trace=False)
+    rig, scenario, incidents = _build_monitored_rig(args, trace=False)
     t0 = rig.cluster.network.now()
     runner = ScenarioRunner(rig, scenario)
     runner.run(target_availability=args.target)
@@ -436,6 +481,9 @@ def _cmd_alerts(args: argparse.Namespace) -> int:
         payload["scenario"] = scenario.name
         payload["t0"] = t0
         payload["scrapes"] = rig.monitor.scrapes
+        payload["incidents"] = [
+            dict(b["meta"]) for b in incidents.incidents
+        ]
         print(json.dumps(payload, indent=2, sort_keys=True))
     else:
         print(
@@ -462,6 +510,98 @@ def _cmd_alerts(args: argparse.Namespace) -> int:
             print(f"FAIL still firing: {alert.rule.name}", file=sys.stderr)
         return 3
     return 0
+
+
+def _cmd_incidents(args: argparse.Namespace) -> int:
+    """List, show, or export captured incident bundle directories."""
+    import json
+    import os
+
+    from repro.obs.incident import list_bundles, load_bundle
+
+    if args.action == "list":
+        metas = list_bundles(args.dir)
+        if args.format == "json":
+            print(json.dumps({"dir": args.dir, "incidents": metas},
+                             indent=2, sort_keys=True))
+            return 0
+        if not metas:
+            print(f"no incident bundles under {args.dir!r}")
+            return 0
+        print(f"{len(metas)} incident bundle(s) under {args.dir!r}:")
+        for m in metas:
+            what = m.get("rule") or m.get("trigger", "?")
+            t_rel = m.get("t_rel")
+            when = f"t_rel={t_rel:.3f}s" if t_rel is not None else "t_rel=?"
+            print(f"  {m['id']:<44} {what:<28} {when}")
+        return 0
+
+    if not args.id:
+        print("--id is required for show/export", file=sys.stderr)
+        return 2
+    path = os.path.join(args.dir, args.id)
+    bundle = load_bundle(path)
+
+    if args.action == "export":
+        text = json.dumps(bundle, indent=2, sort_keys=True)
+        if args.out:
+            with open(args.out, "w") as fh:
+                fh.write(text + "\n")
+            print(f"exported {args.id} -> {args.out}")
+        else:
+            print(text)
+        return 0
+
+    # show
+    if args.format == "json":
+        print(json.dumps(bundle, indent=2, sort_keys=True))
+        return 0
+    meta = bundle["meta"]
+    print(f"incident {meta['id']}")
+    print(f"  trigger: {meta.get('trigger')}"
+          + (f" ({meta.get('rule')})" if meta.get("rule") else ""))
+    t_rel = meta.get("t_rel")
+    print(f"  captured at t={meta.get('t')} "
+          f"(t_rel={t_rel:.6f}s)" if t_rel is not None else
+          f"  captured at t={meta.get('t')}")
+    if meta.get("value") is not None:
+        print(f"  value {meta['value']:.4f} vs threshold "
+              f"{meta.get('threshold')}")
+    spec = bundle.get("spec")
+    if spec:
+        print(f"  spec: scenario={spec.get('scenario')!r} "
+              f"seed={spec.get('seed')} "
+              f"scenario_seed={spec.get('scenario_seed')}")
+    events = bundle.get("events") or {}
+    print(f"  events: {events.get('events_total', 0)} recorded, "
+          f"{events.get('dropped_total', 0)} dropped")
+    for name, cat in sorted((events.get("categories") or {}).items()):
+        if cat.get("total"):
+            print(f"    {name:<12} {cat['total']:6d} total "
+                  f"({len(cat.get('events', []))} retained)")
+    diff = (bundle.get("metrics") or {}).get("window_diff") or {}
+    hot = {k: v for k, v in diff.items() if v}
+    if hot:
+        window = (bundle.get("metrics") or {}).get("window_seconds", "?")
+        print(f"  window diff ({window}s):")
+        for key in sorted(hot, key=lambda k: -abs(hot[k]))[:8]:
+            print(f"    {key:<44} {hot[key]:+.1f}")
+    print(f"  traces: {len(bundle.get('traces') or [])} slow trees")
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    """Replay an incident bundle; exit 3 when it diverges."""
+    import json
+
+    from repro.obs.replay import replay_bundle
+
+    result = replay_bundle(args.bundle)
+    if args.format == "json":
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(result.render())
+    return 0 if result.converged else 3
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -682,6 +822,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_watch.add_argument("--shards", type=int, default=4)
     p_watch.add_argument("--vertices", type=int, default=400)
     p_watch.add_argument("--seed", type=int, default=0)
+    p_watch.add_argument(
+        "--incidents-dir",
+        default=None,
+        metavar="DIR",
+        help="write an incident bundle directory under DIR for every "
+        "firing alert (consumed by 'repro incidents' / 'repro replay')",
+    )
     p_watch.set_defaults(func=_cmd_watch)
 
     p_alerts = sub.add_parser(
@@ -713,7 +860,53 @@ def build_parser() -> argparse.ArgumentParser:
     p_alerts.add_argument("--shards", type=int, default=4)
     p_alerts.add_argument("--vertices", type=int, default=400)
     p_alerts.add_argument("--seed", type=int, default=0)
+    p_alerts.add_argument(
+        "--incidents-dir",
+        default=None,
+        metavar="DIR",
+        help="write an incident bundle directory under DIR for every "
+        "firing alert",
+    )
     p_alerts.set_defaults(func=_cmd_alerts)
+
+    p_incidents = sub.add_parser(
+        "incidents",
+        help="list, show, or export incident bundles captured by "
+        "'repro watch/alerts --incidents-dir'",
+    )
+    p_incidents.add_argument(
+        "action",
+        choices=["list", "show", "export"],
+        help="list bundle metadata, show one bundle, or export it as a "
+        "single JSON document",
+    )
+    p_incidents.add_argument(
+        "--dir",
+        default="incidents",
+        help="bundle directory root (default: ./incidents)",
+    )
+    p_incidents.add_argument(
+        "--id", default=None, help="bundle id for show/export"
+    )
+    p_incidents.add_argument(
+        "--out", default=None, help="export target file (default stdout)"
+    )
+    p_incidents.add_argument(
+        "--format", default="human", choices=["human", "json"]
+    )
+    p_incidents.set_defaults(func=_cmd_incidents)
+
+    p_replay = sub.add_parser(
+        "replay",
+        help="deterministically replay an incident bundle and verify "
+        "the same alert fires at the same simulated instant with a "
+        "matching event stream (exit 3 on divergence)",
+    )
+    p_replay.add_argument("bundle", help="bundle directory path")
+    p_replay.add_argument(
+        "--format", default="human", choices=["human", "json"]
+    )
+    p_replay.set_defaults(func=_cmd_replay)
     return parser
 
 

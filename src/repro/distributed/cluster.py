@@ -219,6 +219,9 @@ class LocalCluster:
         #: Continuous-monitoring loop over this cluster's registry
         #: (:meth:`attach_monitor`); ``None`` until attached.
         self.monitor = None
+        #: Flight recorder of structured events across every layer
+        #: (:meth:`attach_recorder`); ``None`` until attached.
+        self.recorder = None
 
     def __len__(self) -> int:
         return len(self.servers)
@@ -433,6 +436,15 @@ class LocalCluster:
                     )
                 dropped += 1
             directory.drop(src)
+        rec = self.recorder
+        if rec is not None and targets:
+            rec.record(
+                "replica",
+                "drop",
+                t=self.network.now() if self.network is not None else None,
+                copies=dropped,
+                sources=len(targets),
+            )
         return dropped
 
     def dead_replicas(self) -> List[Tuple[int, int]]:
@@ -528,6 +540,10 @@ class LocalCluster:
             name_filter=name_filter,
         )
         self.monitor = monitor
+        # A recorder attached before the monitor must still see the new
+        # manager's transitions (attach_recorder covers the other order).
+        if self.recorder is not None:
+            self.recorder.observe_alerts(monitor.alerts)
         if not self.registry.has("repro_monitor_scrapes_total"):
             # Views read through ``self.monitor`` so a re-attach (new
             # interval / rules) does not leave them pointing at a stale
@@ -578,6 +594,64 @@ class LocalCluster:
             )
         return monitor
 
+    def attach_recorder(self, recorder=None, capacity: int = 1024):
+        """Attach a :class:`~repro.obs.flight.FlightRecorder` to every
+        layer of this cluster.
+
+        Creates one on the cluster's simulated clock when ``recorder``
+        is ``None``; otherwise adopts the given instance (binding its
+        clock if unset).  Propagation covers the fault injector, the
+        retry policy (cluster- and client-side), every replica server,
+        the attached inference service, and — when a monitor is attached
+        (before *or* after) — the alert manager's transition stream.
+        The recorder's own health surfaces as ``repro_recorder_*``
+        views; like the monitor, :meth:`reset_stats` leaves it alone —
+        its rings *are* the incident history.
+        """
+        from repro.obs.flight import FlightRecorder
+
+        clock = self.network.now if self.network is not None else None
+        if recorder is None:
+            recorder = FlightRecorder(clock=clock, capacity=capacity)
+        elif recorder.clock is None:
+            recorder.clock = clock
+        self.recorder = recorder
+        if self.fault_injector is not None:
+            self.fault_injector.recorder = recorder
+        if self.retry is not None:
+            self.retry.recorder = recorder
+        client_retry = getattr(self.client, "retry", None)
+        if client_retry is not None:
+            client_retry.recorder = recorder
+        for group in self.replica_groups:
+            for server in group:
+                server.recorder = recorder
+        service = getattr(self, "inference_service", None)
+        if service is not None:
+            service.set_recorder(recorder)
+        if self.monitor is not None:
+            recorder.observe_alerts(self.monitor.alerts)
+        if not self.registry.has("repro_recorder_events_total"):
+            # Views read through ``self.recorder`` so a re-attach
+            # rebinds them to the current instance.
+            self.registry.register_view(
+                "repro_recorder_events_total",
+                lambda c=self: float(c.recorder.events_total),
+                help="Events appended to the flight recorder's rings",
+            )
+            self.registry.register_view(
+                "repro_recorder_dropped_total",
+                lambda c=self: float(c.recorder.dropped_total),
+                help="Ring-evicted (overwritten) flight-recorder events",
+            )
+            self.registry.register_view(
+                "repro_recorder_categories",
+                lambda c=self: float(len(c.recorder.categories)),
+                help="Event categories carried by the flight recorder",
+                kind="gauge",
+            )
+        return recorder
+
     def reset_stats(self) -> None:
         """Clear server, network, fault, and retry counters (plus any
         registry-owned metrics, archived traces, and the phase
@@ -585,6 +659,8 @@ class LocalCluster:
 
         Registered *views* need no reset of their own — they read the
         stats holders live, so clearing the holders clears the views.
+        The attached monitor and flight recorder are deliberately left
+        alone: their history *is* the incident evidence.
         """
         for group in self.replica_groups:
             for s in group:

@@ -27,7 +27,7 @@ equals a fault-free reference run.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Optional
 
 from repro.errors import (
@@ -114,7 +114,7 @@ class FaultInjector:
         spikes are charged to it so retry deadlines observe them.
     """
 
-    __slots__ = ("policy", "network", "stats", "_rng", "_armed")
+    __slots__ = ("policy", "network", "stats", "recorder", "_rng", "_armed")
 
     def __init__(
         self,
@@ -125,6 +125,7 @@ class FaultInjector:
         self.policy = policy
         self.network = network
         self.stats = FaultStats()
+        self.recorder = None
         self._rng = random.Random(seed)
         self._armed = True
 
@@ -152,7 +153,22 @@ class FaultInjector:
         """
         previous = self.policy
         self.policy = policy
+        rec = self.recorder
+        if rec is not None:
+            rec.record(
+                "fault",
+                "policy_swap",
+                t=self._now(),
+                old=asdict(previous),
+                new=asdict(policy),
+            )
         return previous
+
+    def _now(self) -> Optional[float]:
+        """Simulated time for recorder stamps (None lets the recorder
+        fall back to its own clock)."""
+        network = self.network
+        return network.now() if network is not None else None
 
     # ------------------------------------------------------------------
     # the hook servers call on every endpoint entry
@@ -171,19 +187,45 @@ class FaultInjector:
         policy = self.policy
         if policy.crash_rate and rng.random() < policy.crash_rate:
             self.stats.crashes += 1
+            rec = self.recorder
+            if rec is not None:
+                rec.record(
+                    "fault",
+                    "injected_crash",
+                    t=self._now(),
+                    shard=server.shard_id,
+                    replica=server.replica_index,
+                    endpoint=endpoint,
+                )
             server.crash()
             raise ShardUnavailableError(
                 f"injected crash: shard {server.shard_id} replica "
-                f"{server.replica_index} went down during {endpoint!r}"
+                f"{server.replica_index} went down during {endpoint!r}",
+                shard=server.shard_id,
+                endpoint=endpoint,
+                timestamp=self._now(),
             )
         if (
             policy.transient_error_rate
             and rng.random() < policy.transient_error_rate
         ):
             self.stats.transient_errors += 1
+            rec = self.recorder
+            if rec is not None:
+                rec.record(
+                    "fault",
+                    "transient",
+                    t=self._now(),
+                    shard=server.shard_id,
+                    replica=server.replica_index,
+                    endpoint=endpoint,
+                )
             raise TransientRPCError(
                 f"injected transient fault on shard {server.shard_id} "
-                f"replica {server.replica_index} endpoint {endpoint!r}"
+                f"replica {server.replica_index} endpoint {endpoint!r}",
+                shard=server.shard_id,
+                endpoint=endpoint,
+                timestamp=self._now(),
             )
         if (
             policy.latency_spike_rate
@@ -192,6 +234,17 @@ class FaultInjector:
             spike = policy.latency_spike_seconds
             self.stats.latency_spikes += 1
             self.stats.spike_seconds += spike
+            rec = self.recorder
+            if rec is not None:
+                rec.record(
+                    "fault",
+                    "latency_spike",
+                    t=self._now(),
+                    shard=server.shard_id,
+                    replica=server.replica_index,
+                    endpoint=endpoint,
+                    seconds=spike,
+                )
             if self.network is not None:
                 self.network.sleep(spike)
             return spike

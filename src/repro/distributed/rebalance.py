@@ -456,6 +456,18 @@ def execute_plan(
         partitioner.add_override(move.src, move.to_shard)
         stats.moves += 1
         stats.edges_moved += rows
+        rec = getattr(cluster, "recorder", None)
+        if rec is not None:
+            network = getattr(cluster, "network", None)
+            rec.record(
+                "migration",
+                "cutover",
+                t=network.now() if network is not None else None,
+                src=move.src,
+                from_shard=move.from_shard,
+                to_shard=move.to_shard,
+                edges=rows,
+            )
         # Retract the old owner's copy (new traffic already routes away).
         _write_adjacency(
             cluster, move.from_shard, move.src, copied, op=OP_DELETE

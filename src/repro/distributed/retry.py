@@ -105,6 +105,13 @@ class RetryPolicy:
     deadline_seconds: Optional[float] = None
     seed: int = 0
     stats: RetryStats = field(default_factory=RetryStats)
+    #: Optional :class:`~repro.obs.flight.FlightRecorder`; retry events
+    #: (transient failures, exhaustions, deadline aborts) land in its
+    #: ``retry`` ring.  Excluded from equality/repr — it's wiring, not
+    #: policy.
+    recorder: Optional[object] = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -193,9 +200,12 @@ class RetryPolicy:
             self.stats.deadline_exceeded += 1
             raise DeadlineExceededError(
                 f"absolute deadline {deadline:.6f}s already passed at "
-                f"{clock():.6f}s — request not attempted"
+                f"{clock():.6f}s — request not attempted",
+                attempt=0,
+                timestamp=clock(),
             )
 
+        recorder = self.recorder
         last_exc: Optional[TransientRPCError] = None
         for attempt in range(1, self.max_attempts + 1):
             self.stats.attempts += 1
@@ -204,20 +214,62 @@ class RetryPolicy:
             except TransientRPCError as exc:
                 last_exc = exc
                 self.stats.transient_failures += 1
+                # Populate the structured context on the failure itself
+                # so whoever ends up re-raising or logging it knows the
+                # attempt and instant, not just the shard/endpoint the
+                # injector stamped.
+                exc.attempt = attempt
+                if exc.timestamp is None:
+                    exc.timestamp = clock()
+                if recorder is not None:
+                    recorder.record(
+                        "retry",
+                        "transient",
+                        t=clock(),
+                        attempt=attempt,
+                        shard=exc.shard,
+                        endpoint=exc.endpoint,
+                    )
                 if budget_left() <= 0.0:
                     self.stats.deadline_exceeded += 1
+                    if recorder is not None:
+                        recorder.record(
+                            "retry",
+                            "deadline",
+                            t=clock(),
+                            attempt=attempt,
+                            shard=exc.shard,
+                            endpoint=exc.endpoint,
+                        )
                     raise DeadlineExceededError(
                         f"request deadline exceeded after {attempt} "
-                        f"attempt(s) ({elapsed():.6f}s simulated)"
+                        f"attempt(s) ({elapsed():.6f}s simulated)",
+                        shard=exc.shard,
+                        endpoint=exc.endpoint,
+                        attempt=attempt,
+                        timestamp=clock(),
                     ) from exc
                 if attempt == self.max_attempts:
                     break
                 delay = self.backoff_for(attempt)
                 if delay >= budget_left():
                     self.stats.deadline_exceeded += 1
+                    if recorder is not None:
+                        recorder.record(
+                            "retry",
+                            "deadline",
+                            t=clock(),
+                            attempt=attempt,
+                            shard=exc.shard,
+                            endpoint=exc.endpoint,
+                        )
                     raise DeadlineExceededError(
                         f"request deadline would elapse during backoff "
-                        f"(attempt {attempt})"
+                        f"(attempt {attempt})",
+                        shard=exc.shard,
+                        endpoint=exc.endpoint,
+                        attempt=attempt,
+                        timestamp=clock(),
                     ) from exc
                 self.stats.retries += 1
                 self.stats.backoff_seconds += delay
@@ -230,6 +282,19 @@ class RetryPolicy:
                     self.stats.recoveries += 1
                 return result
         self.stats.exhausted += 1
+        if recorder is not None:
+            recorder.record(
+                "retry",
+                "exhausted",
+                t=clock(),
+                attempts=self.max_attempts,
+                shard=last_exc.shard if last_exc is not None else None,
+                endpoint=last_exc.endpoint if last_exc is not None else None,
+            )
         raise RetryExhaustedError(
-            f"request failed on all {self.max_attempts} attempts"
+            f"request failed on all {self.max_attempts} attempts",
+            shard=last_exc.shard if last_exc is not None else None,
+            endpoint=last_exc.endpoint if last_exc is not None else None,
+            attempt=self.max_attempts,
+            timestamp=clock(),
         ) from last_exc

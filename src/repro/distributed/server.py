@@ -155,6 +155,9 @@ class GraphServer:
         self.wal = wal
         self.faults = faults
         self.tracer = tracer
+        #: Optional flight recorder (the cluster's ``attach_recorder``
+        #: propagates one); WAL and crash/recover events land in it.
+        self.recorder = None
         self._alive = True
         # Durable (survives crash) checkpoint images of this replica.
         self._checkpoint_topology: Optional[bytes] = None
@@ -189,10 +192,21 @@ class GraphServer:
                 self.faults.note_refused()
             raise ShardUnavailableError(
                 f"shard {self.shard_id} replica {self.replica_index} is "
-                f"down (endpoint {endpoint!r})"
+                f"down (endpoint {endpoint!r})",
+                shard=self.shard_id,
+                endpoint=endpoint,
+                timestamp=self._recorder_now(),
             )
         if self.faults is not None:
             self.faults.on_request(self, endpoint)
+
+    def _recorder_now(self) -> Optional[float]:
+        """Simulated time for recorder stamps / error context (None when
+        no network model is reachable)."""
+        faults = self.faults
+        if faults is not None and faults.network is not None:
+            return faults.network.now()
+        return None
 
     def _span(self, endpoint: str, _prefix: str = "server.", **tags):
         """A ``server.<endpoint>`` span (no-op without a tracer)."""
@@ -218,6 +232,15 @@ class GraphServer:
         self._alive = False
         self.store = None
         self.attributes = None
+        rec = self.recorder
+        if rec is not None:
+            rec.record(
+                "fault",
+                "crash",
+                t=self._recorder_now(),
+                shard=self.shard_id,
+                replica=self.replica_index,
+            )
 
     def checkpoint(self) -> int:
         """Capture a durable binary image and truncate the WAL.
@@ -243,9 +266,20 @@ class GraphServer:
         self._checkpoint_attributes = abuf.getvalue()
         if self.wal is not None:
             self.wal.truncate()
-        return len(self._checkpoint_topology) + len(
+        total = len(self._checkpoint_topology) + len(
             self._checkpoint_attributes
         )
+        rec = self.recorder
+        if rec is not None:
+            rec.record(
+                "wal",
+                "checkpoint",
+                t=self._recorder_now(),
+                shard=self.shard_id,
+                replica=self.replica_index,
+                bytes=total,
+            )
+        return total
 
     def recover(self, sync_from: Optional["GraphServer"] = None) -> int:
         """Rebuild state and come back up; returns WAL records replayed.
@@ -296,6 +330,17 @@ class GraphServer:
         self._alive = True
         self.stats.recoveries += 1
         self.stats.wal_records_replayed += replayed
+        rec = self.recorder
+        if rec is not None:
+            rec.record(
+                "fault",
+                "recover",
+                t=self._recorder_now(),
+                shard=self.shard_id,
+                replica=self.replica_index,
+                replayed=replayed,
+                synced=sync_from is not None,
+            )
         return replayed
 
     # ------------------------------------------------------------------
@@ -309,6 +354,16 @@ class GraphServer:
             self.stats.ops_applied += len(ops)
             if self.wal is not None:
                 self.wal.append_ops(ops)
+                rec = self.recorder
+                if rec is not None:
+                    rec.record(
+                        "wal",
+                        "append",
+                        t=self._recorder_now(),
+                        shard=self.shard_id,
+                        replica=self.replica_index,
+                        ops=len(ops),
+                    )
             return [self.store.apply(op) for op in ops]
 
     def ingest_batch(self, batch):
@@ -326,6 +381,16 @@ class GraphServer:
             self.stats.ops_applied += len(batch)
             if self.wal is not None:
                 self.wal.append_batch(batch)
+                rec = self.recorder
+                if rec is not None:
+                    rec.record(
+                        "wal",
+                        "append",
+                        t=self._recorder_now(),
+                        shard=self.shard_id,
+                        replica=self.replica_index,
+                        ops=len(batch),
+                    )
             return self.store.apply_edge_batch(batch)
 
     def freeze(self, etype: Optional[int] = None) -> int:

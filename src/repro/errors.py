@@ -64,7 +64,38 @@ class ConfigurationError(ReproError, ValueError):
 
 
 class RPCError(ReproError, ConnectionError):
-    """Base class for simulated RPC failures in the distributed tier."""
+    """Base class for simulated RPC failures in the distributed tier.
+
+    Carries structured origin context — which shard and endpoint failed,
+    on which retry attempt, at what simulated time — so raised errors
+    and flight-recorder events name their source instead of a bare
+    message.  All fields are optional: raisers that know them populate
+    them (the fault injector knows shard/endpoint; ``RetryPolicy.run``
+    adds attempt/timestamp to whatever it re-raises).
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        shard=None,
+        endpoint: "str | None" = None,
+        attempt: "int | None" = None,
+        timestamp: "float | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.shard = shard
+        self.endpoint = endpoint
+        self.attempt = attempt
+        self.timestamp = timestamp
+
+    def context(self) -> dict:
+        """The populated context fields as a flat dict (for logs/events)."""
+        out = {}
+        for key in ("shard", "endpoint", "attempt", "timestamp"):
+            value = getattr(self, key)
+            if value is not None:
+                out[key] = value
+        return out
 
 
 class TransientRPCError(RPCError):

@@ -45,7 +45,21 @@ subsystem reports into:
 * :mod:`repro.obs.critical` — critical-path analysis over tracer span
   trees: the self-time segments that bound a request's end-to-end
   duration, aggregated into a per-layer table
-  (:func:`analyze_critical_paths`).
+  (:func:`analyze_critical_paths`);
+* :mod:`repro.obs.flight` — the flight recorder: bounded, preallocated
+  per-category ring buffers of cheap structured events (admission
+  decisions, breaker transitions, fault injections, retries, WAL
+  activity, replica drops, migration cutovers, alert transitions,
+  chaos schedule), appended on the simulated clock by hooks in every
+  layer (DESIGN.md §17);
+* :mod:`repro.obs.incident` — alert-triggered incident bundles: the
+  recorder rings + metrics snapshot/window diff + series windows +
+  slow traces + doctor digest + scenario spec/seeds, frozen at the
+  firing instant and serialized as JSON bundle directories;
+* :mod:`repro.obs.replay` — deterministic replay: rebuild the rig from
+  a bundle's spec, re-run the captured window, and verify the same
+  alert fires at the same simulated instant with a matching event
+  stream.
 """
 
 from repro.obs.alerts import (
@@ -78,7 +92,14 @@ from repro.obs.export import (
     to_json,
     to_prometheus_text,
 )
+from repro.obs.flight import EventRing, FlightRecorder
 from repro.obs.hist import Exemplar, LatencyHistogram
+from repro.obs.incident import (
+    IncidentManager,
+    list_bundles,
+    load_bundle,
+    write_bundle,
+)
 from repro.obs.instrument import (
     register_cluster,
     register_stats,
@@ -91,6 +112,13 @@ from repro.obs.registry import (
     Gauge,
     MetricsRegistry,
     RegistrySnapshot,
+)
+from repro.obs.replay import (
+    ReplayResult,
+    build_rig_from_spec,
+    make_spec,
+    replay_bundle,
+    scenario_from_spec,
 )
 from repro.obs.report import render_report
 from repro.obs.trace import Span, Tracer
@@ -105,20 +133,25 @@ __all__ = [
     "CriticalPathReport",
     "CriticalSegment",
     "DoctorReport",
+    "EventRing",
     "Exemplar",
+    "FlightRecorder",
     "Gauge",
+    "IncidentManager",
     "LatencyHistogram",
     "LayerProfiler",
     "MetricsRegistry",
     "Monitor",
     "PrometheusFormatError",
     "RegistrySnapshot",
+    "ReplayResult",
     "Span",
     "ThresholdRule",
     "TimeSeriesStore",
     "Tracer",
     "analyze_critical_paths",
     "args_digest",
+    "build_rig_from_spec",
     "check_thresholds",
     "critical_path",
     "default_serving_rules",
@@ -127,12 +160,18 @@ __all__ = [
     "diagnose_store",
     "layer_for",
     "lint_prometheus",
+    "list_bundles",
+    "load_bundle",
+    "make_spec",
     "observe",
     "parse_fail_on",
     "register_cluster",
     "register_stats",
     "register_store",
     "render_report",
+    "replay_bundle",
+    "scenario_from_spec",
     "to_json",
     "to_prometheus_text",
+    "write_bundle",
 ]

@@ -215,7 +215,12 @@ class BurnRateRule(AlertRule):
 
 @dataclass
 class AlertEvent:
-    """One lifecycle transition (the timeline unit)."""
+    """One lifecycle transition (the timeline unit).
+
+    ``value`` is the measurement that decided the transition and
+    ``threshold`` the rule's trigger level at that instant — together
+    they say *why* a rule fired, not just that it did.
+    """
 
     t: float
     rule: str
@@ -223,6 +228,7 @@ class AlertEvent:
     to_state: str
     value: float
     labels: Dict[str, str] = field(default_factory=dict)
+    threshold: Optional[float] = None
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -231,6 +237,7 @@ class AlertEvent:
             "from": self.from_state,
             "to": self.to_state,
             "value": self.value,
+            "threshold": self.threshold,
             "labels": dict(self.labels),
         }
 
@@ -263,6 +270,7 @@ class AlertManager:
         self.events: List[AlertEvent] = []
         self.evaluations = 0
         self.transitions = 0
+        self.listeners: List = []
         for rule in rules or []:
             self.add_rule(rule)
 
@@ -275,19 +283,29 @@ class AlertManager:
         self.alerts[rule.name] = Alert(rule)
         return rule
 
+    def add_listener(self, listener) -> None:
+        """Subscribe a callable to every transition (idempotent).
+
+        Listeners receive the :class:`AlertEvent` *synchronously inside*
+        the evaluation pass, at the simulated instant of the transition —
+        this is the hook the flight recorder and incident manager ride.
+        """
+        if listener not in self.listeners:
+            self.listeners.append(listener)
+
     def _transition(
         self, alert: Alert, to_state: str, now: float, value: float
     ) -> None:
-        self.events.append(
-            AlertEvent(
-                t=now,
-                rule=alert.rule.name,
-                from_state=alert.state,
-                to_state=to_state,
-                value=value,
-                labels=dict(alert.rule.labels),
-            )
+        event = AlertEvent(
+            t=now,
+            rule=alert.rule.name,
+            from_state=alert.state,
+            to_state=to_state,
+            value=value,
+            labels=dict(alert.rule.labels),
+            threshold=getattr(alert.rule, "threshold", None),
         )
+        self.events.append(event)
         self.transitions += 1
         # "resolved" is an event, not a state — the alert returns to
         # inactive and can fire again later in the same run.
@@ -295,6 +313,8 @@ class AlertManager:
         alert.since = now if to_state == "pending" else alert.since
         if to_state in ("inactive", "resolved"):
             alert.since = None
+        for listener in self.listeners:
+            listener(event)
 
     def evaluate(self, store, now: float) -> None:
         """One evaluation pass (the monitor calls this after a scrape)."""

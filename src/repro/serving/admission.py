@@ -130,10 +130,16 @@ class CircuitBreaker:
         "opened_at",
         "probing",
         "trips",
+        "shard",
+        "recorder",
     )
 
     def __init__(
-        self, failure_threshold: int = 3, reset_timeout: float = 0.25
+        self,
+        failure_threshold: int = 3,
+        reset_timeout: float = 0.25,
+        shard: Optional[int] = None,
+        recorder=None,
     ) -> None:
         if failure_threshold < 1:
             raise ConfigurationError(
@@ -150,6 +156,11 @@ class CircuitBreaker:
         #: True while the single half-open probe is in flight.
         self.probing = False
         self.trips = 0
+        #: Which shard this breaker guards (recorder events name it).
+        self.shard = shard
+        #: Optional :class:`~repro.obs.flight.FlightRecorder`; breaker
+        #: transitions land in its ``breaker`` ring.
+        self.recorder = recorder
 
     def state(self, now: float) -> str:
         if self.opened_at is None:
@@ -169,10 +180,22 @@ class CircuitBreaker:
             return True
         if state == "half_open" and not self.probing:
             self.probing = True
+            rec = self.recorder
+            if rec is not None:
+                rec.record(
+                    "breaker", "half_open", t=now, shard=self.shard
+                )
             return True
         return False
 
     def record_success(self) -> None:
+        # Only a success that actually closes an open/half-open breaker
+        # is a transition worth recording — the common per-seed success
+        # on a closed breaker stays free.
+        if self.opened_at is not None:
+            rec = self.recorder
+            if rec is not None:
+                rec.record("breaker", "close", shard=self.shard)
         self.failures = 0
         self.opened_at = None
         self.probing = False
@@ -183,7 +206,13 @@ class CircuitBreaker:
         if self.opened_at is not None:
             # Failed while open / half-open: restart the timeout.
             self.opened_at = now
+            rec = self.recorder
+            if rec is not None:
+                rec.record("breaker", "reopen", t=now, shard=self.shard)
             return
         if self.failures >= self.failure_threshold:
             self.opened_at = now
             self.trips += 1
+            rec = self.recorder
+            if rec is not None:
+                rec.record("breaker", "open", t=now, shard=self.shard)

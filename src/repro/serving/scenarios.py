@@ -70,11 +70,17 @@ Event = Tuple[float, str, object]
 
 @dataclass
 class Scenario:
-    """A named, seeded event schedule (times relative to run start)."""
+    """A named, seeded event schedule (times relative to run start).
+
+    ``seed`` records the generator seed that produced the schedule —
+    incident bundles carry it so a captured run can be rebuilt
+    bit-identically by :mod:`repro.obs.replay`.
+    """
 
     name: str
     duration: float
     events: List[Event] = field(default_factory=list)
+    seed: Optional[int] = None
 
     def sorted_events(self) -> List[Event]:
         return sorted(self.events, key=lambda e: e[0])
@@ -132,7 +138,7 @@ def calm(
     """Steady zipf traffic — the baseline every SLO comparison uses."""
     stream = RequestStream(num_sources, exponent=exponent, seed=seed)
     events = _request_events(_arrivals(rate, 0.0, duration), stream)
-    return Scenario("calm", duration, events)
+    return Scenario("calm", duration, events, seed=seed)
 
 
 def diurnal(
@@ -158,7 +164,8 @@ def diurnal(
             1.0 + amplitude * math.sin(2.0 * math.pi * t / period)
         )
         t += 1.0 / max(rate, 1.0)
-    return Scenario("diurnal", duration, _request_events(times, stream))
+    return Scenario("diurnal", duration, _request_events(times, stream),
+                    seed=seed)
 
 
 def flash_crowd(
@@ -185,7 +192,7 @@ def flash_crowd(
     for i, t in enumerate(_arrivals(spike_rate, spike_start, spike_end)):
         key = int(hot[i % len(hot)])
         events.append((t, "request", ([key], "embed")))
-    return Scenario("flash_crowd", duration, events)
+    return Scenario("flash_crowd", duration, events, seed=seed)
 
 
 def churn_burst(
@@ -208,7 +215,7 @@ def churn_burst(
         dsts = rng.integers(0, num_sources, batch_edges).astype(np.int64)
         weights = rng.random(batch_edges)
         events.append((t, "churn", EdgeBatch.inserts(srcs, dsts, weights)))
-    return Scenario("churn_burst", duration, events)
+    return Scenario("churn_burst", duration, events, seed=seed)
 
 
 def regional_outage(
@@ -226,7 +233,7 @@ def regional_outage(
     events = _request_events(_arrivals(rate, 0.0, duration), stream)
     events.append((crash_at, "crash", shard))
     events.append((recover_at, "recover", None))
-    return Scenario("regional_outage", duration, events)
+    return Scenario("regional_outage", duration, events, seed=seed)
 
 
 def brownout(
@@ -252,7 +259,7 @@ def brownout(
         ),
     ))
     events.append((slow_end, "policy", None))
-    return Scenario("brownout", duration, events)
+    return Scenario("brownout", duration, events, seed=seed)
 
 
 SCENARIOS = {
@@ -282,6 +289,9 @@ class ServingRig:
     tracer: Optional[Tracer] = None
     #: Continuous-monitoring loop (``monitor_interval`` set).
     monitor: Optional[Monitor] = None
+    #: Flight recorder (``recorder=...``); every layer's structured
+    #: events, the raw material of incident bundles.
+    recorder: Optional[object] = None
 
 
 def build_serving_rig(
@@ -310,6 +320,7 @@ def build_serving_rig(
     slow_trace_threshold: float = 8e-3,
     monitor_interval: Optional[float] = None,
     alert_rules: Optional[Sequence] = None,
+    recorder=None,
 ) -> ServingRig:
     """One cluster + graph + features + encoder + service, pre-warmed.
 
@@ -328,6 +339,11 @@ def build_serving_rig(
     that-many simulated seconds, with ``alert_rules`` (default: the
     serving tier's :func:`~repro.obs.alerts.default_serving_rules`)
     evaluated after each scrape.
+
+    ``recorder`` attaches a flight recorder to every layer via
+    :meth:`LocalCluster.attach_recorder` — pass ``True`` for a fresh
+    default-capacity one or a pre-built
+    :class:`~repro.obs.flight.FlightRecorder` instance.
     """
     network = NetworkModel()
     tracer = (
@@ -423,7 +439,13 @@ def build_serving_rig(
                 "repro_serving_",
                 "repro_monitor_",
                 "repro_alerts_",
+                "repro_recorder_",
             ),
+        )
+    attached_recorder = None
+    if recorder is not None and recorder is not False:
+        attached_recorder = cluster.attach_recorder(
+            recorder if recorder is not True else None
         )
     return ServingRig(
         cluster,
@@ -433,6 +455,7 @@ def build_serving_rig(
         num_sources,
         tracer=tracer,
         monitor=monitor,
+        recorder=attached_recorder,
     )
 
 
@@ -500,9 +523,23 @@ class ScenarioRunner:
             # Under overload the runner hands requests over late; the
             # scheduled arrival keeps latency/deadline accounting honest.
             self.service.submit(vertices, kind=req_kind, arrival=t_abs)
-        elif kind == "crash":
+            return
+        # Chaos events land in the recorder with the scenario's seed, so
+        # a brownout/outage incident bundle names exactly which seeded
+        # schedule produced it (and replays bit-identically from it).
+        rec = getattr(self.cluster, "recorder", None)
+        if kind == "crash":
+            if rec is not None:
+                rec.record(
+                    "chaos", "crash", t=t_abs,
+                    shard=int(payload), seed=self.scenario.seed,
+                )
             self.cluster.crash_shard(int(payload))
         elif kind == "recover":
+            if rec is not None:
+                rec.record(
+                    "chaos", "recover", t=t_abs, seed=self.scenario.seed
+                )
             self.cluster.recover_all(sync=True)
         elif kind == "policy":
             injector = self.cluster.fault_injector
@@ -511,10 +548,31 @@ class ScenarioRunner:
                     "scenario swaps fault policy but the cluster has no "
                     "fault injector"
                 )
+            if rec is not None:
+                from dataclasses import asdict
+
+                rec.record(
+                    "chaos",
+                    "policy",
+                    t=t_abs,
+                    policy=(asdict(payload) if payload is not None
+                            else "restore"),
+                    seed=self.scenario.seed,
+                )
             injector.set_policy(
                 payload if payload is not None else self._base_policy
             )
         elif kind == "churn":
+            if rec is not None:
+                rec.record(
+                    "chaos",
+                    "churn",
+                    t=t_abs,
+                    ops=len(payload),
+                    src_sum=int(payload.src.sum()),
+                    dst_sum=int(payload.dst.sum()),
+                    seed=self.scenario.seed,
+                )
             self.cluster.client.apply_edge_batch(payload)
         else:
             raise ConfigurationError(f"unknown scenario event kind {kind!r}")
@@ -548,6 +606,30 @@ class ScenarioRunner:
             target_availability=target_availability,
             simulated_seconds=self.network.now() - self._t0,
         )
+
+    def run_until(self, t_stop_rel: float, reset_stats: bool = True) -> None:
+        """Execute only the scenario prefix up to ``t_stop_rel``.
+
+        The incident replay harness uses this to re-run exactly the
+        window an original incident captured: same prologue as
+        :meth:`run`, but the event loop stops at ``t_stop_rel``
+        (relative simulated seconds from run start) and there is **no**
+        final queue drain or closing scrape — state is left exactly as
+        it was at the captured instant, mid-flight requests included.
+        Events scheduled at the stop instant still dispatch (in the
+        original run they execute after the scrape that fired there).
+        """
+        if reset_stats:
+            self.service.reset_stats()
+        injector = self.cluster.fault_injector
+        self._base_policy = injector.policy if injector is not None else None
+        self._t0 = self.network.now()
+        for t_rel, kind, payload in self.scenario.sorted_events():
+            if t_rel > t_stop_rel:
+                break
+            self._advance_to(self._t0 + t_rel)
+            self._dispatch(kind, payload, self._t0 + t_rel)
+        self._advance_to(self._t0 + t_stop_rel)
 
 
 def run_scenario(

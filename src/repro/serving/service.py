@@ -267,9 +267,12 @@ class InferenceService:
         self.gate = AdmissionGate(admission_rate, admission_burst, max_queue)
         self.cache = DegradedAnswerCache(staleness_budget, cache_capacity)
         self.breakers: Dict[int, CircuitBreaker] = {
-            shard: CircuitBreaker(breaker_threshold, breaker_reset)
+            shard: CircuitBreaker(breaker_threshold, breaker_reset,
+                                  shard=shard)
             for shard in range(len(cluster.servers))
         }
+        #: Optional flight recorder (set via :meth:`set_recorder`).
+        self.recorder = None
         self.compute_seconds_per_seed = compute_seconds_per_seed
         self.rng = coerce_scalar_rng(rng if rng is not None else 0)
         self.etype = etype
@@ -317,6 +320,13 @@ class InferenceService:
         if self.tracer is None:
             return NULL_SPAN
         return self.tracer.span(name, **tags)
+
+    def set_recorder(self, recorder) -> None:
+        """Attach a flight recorder to the request path and the
+        per-shard breakers (``None`` detaches)."""
+        self.recorder = recorder
+        for breaker in self.breakers.values():
+            breaker.recorder = recorder
 
     # ------------------------------------------------------------------
     # request intake
@@ -368,8 +378,17 @@ class InferenceService:
             == "open"
             for v in verts
         )
+        rec = self.recorder
         if open_shard:
             self.stats.shed_breaker_open += 1
+            if rec is not None:
+                rec.record(
+                    "admission",
+                    "shed",
+                    t=now,
+                    request_id=request.request_id,
+                    cause=SHED_BREAKER_OPEN,
+                )
             self._resolve_from_cache(request, SHED_BREAKER_OPEN, now)
             return request
 
@@ -387,9 +406,25 @@ class InferenceService:
                     self.stats.shed_queue_full += 1
                 else:
                     self.stats.shed_deadline_hopeless += 1
+                if rec is not None:
+                    rec.record(
+                        "admission",
+                        "shed",
+                        t=now,
+                        request_id=request.request_id,
+                        cause=cause,
+                    )
                 self._resolve_from_cache(request, cause, now)
                 return request
 
+        if rec is not None:
+            rec.record(
+                "admission",
+                "admit",
+                t=now,
+                request_id=request.request_id,
+                queue_depth=len(self.queue),
+            )
         self.queue.append(request)
         if len(self.queue) >= self.max_batch:
             self._flush()
@@ -427,6 +462,7 @@ class InferenceService:
         self.stats.batches += 1
         self.stats.batched_requests += len(batch)
 
+        rec = self.recorder
         live: List[Request] = []
         for request in batch:
             # Expired while queued: with shedding on, cut losses before
@@ -437,6 +473,14 @@ class InferenceService:
                 and now >= request.deadline
             ):
                 self.stats.shed_deadline_hopeless += 1
+                if rec is not None:
+                    rec.record(
+                        "admission",
+                        "shed",
+                        t=now,
+                        request_id=request.request_id,
+                        cause=SHED_DEADLINE_HOPELESS,
+                    )
                 self._resolve_from_cache(
                     request, SHED_DEADLINE_HOPELESS, now
                 )
@@ -458,6 +502,14 @@ class InferenceService:
                 runnable.append(request)
             else:
                 self.stats.shed_breaker_open += 1
+                if rec is not None:
+                    rec.record(
+                        "admission",
+                        "shed",
+                        t=now,
+                        request_id=request.request_id,
+                        cause=SHED_BREAKER_OPEN,
+                    )
                 self._resolve_from_cache(request, SHED_BREAKER_OPEN, now)
         if not runnable:
             return
